@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+The full study (the expensive part — six connectivity experiments on 93
+devices plus both active experiments) runs once per benchmark session; each
+benchmark then times the analysis/report stage for its table or figure and
+writes the rendered output under ``benchmarks/output/`` so the regenerated
+tables can be diffed against the paper (see EXPERIMENTS.md).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.analysis import StudyAnalysis
+from repro.testbed.study import run_full_study
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study():
+    return run_full_study(seed=42)
+
+
+@pytest.fixture(scope="session")
+def analysis(study):
+    analysis = StudyAnalysis(study)
+    analysis.indexes  # parse all captures once, outside the timed region
+    return analysis
+
+
+@pytest.fixture(scope="session")
+def record():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> str:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        return text
+
+    return _record

@@ -1,0 +1,32 @@
+"""Benchmarks regenerating every figure of the paper (data + rendering)."""
+
+from repro.reports import (
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+)
+
+
+def test_bench_figure2_funnel_rings(benchmark, analysis, record):
+    text = benchmark(render_figure2, analysis)
+    record("figure2", text)
+    assert "%" in text
+
+
+def test_bench_figure3_cdfs(benchmark, analysis, record):
+    text = benchmark(render_figure3, analysis)
+    record("figure3", text)
+    assert "IPv6 addresses per device" in text
+
+
+def test_bench_figure4_volume_fractions(benchmark, analysis, record):
+    text = benchmark(render_figure4, analysis)
+    record("figure4", text)
+    assert "TiVo Stream" in text
+
+
+def test_bench_figure5_eui64_exposure(benchmark, analysis, record):
+    text = benchmark(render_figure5, analysis)
+    record("figure5", text)
+    assert "assign GUA EUI-64" in text

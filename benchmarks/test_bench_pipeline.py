@@ -1,0 +1,41 @@
+"""Performance benchmarks for the substrate and the analysis pipeline."""
+
+from repro.core.capture import CaptureIndex
+from repro.devices import build_inventory
+from repro.stack.config import IPV6_ONLY
+from repro.testbed import Testbed, run_connectivity_experiment
+
+
+def test_bench_capture_parse_rate(benchmark, study, analysis):
+    """Frames/second through the capture parser (the pipeline's hot path)."""
+    records = study.experiment("dual-stack").records
+    mac_table = study.mac_table
+
+    index = benchmark.pedantic(lambda: CaptureIndex(records, mac_table), rounds=2, iterations=1)
+    assert index.frame_count == len(records)
+    assert index.decode_errors == 0
+
+
+def test_bench_single_experiment_runtime(benchmark):
+    """Wall-clock for one IPv6-only experiment on the full 93-device lab."""
+
+    def run():
+        testbed = Testbed(seed=77, profiles=build_inventory())
+        return run_connectivity_experiment(testbed, IPV6_ONLY)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.functionality) == 93
+
+
+def test_bench_inventory_build(benchmark):
+    """Profile curation + reconciliation for all 93 devices."""
+    profiles = benchmark(build_inventory)
+    assert len(profiles) == 93
+
+
+def test_bench_flag_extraction(benchmark, analysis):
+    """Deriving per-device feature flags from a parsed capture."""
+    index = analysis.index("ipv6-only")
+    functionality = analysis.study.experiment("ipv6-only").functionality
+    flags = benchmark(analysis._flags_for, index, functionality)
+    assert len(flags) == 93

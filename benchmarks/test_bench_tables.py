@@ -1,0 +1,85 @@
+"""Benchmarks regenerating every table of the paper.
+
+Each benchmark times the analysis + rendering stage for one table over the
+pre-parsed study, and persists the rendered table to ``benchmarks/output/``.
+"""
+
+from repro.reports import (
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    render_table9,
+    render_table10,
+    render_table12,
+    render_table13,
+)
+
+
+def test_bench_table2_configurations(benchmark, record):
+    text = benchmark(render_table2)
+    record("table2", text)
+    assert "ipv6-only-stateful" in text
+
+
+def test_bench_table3_figure2_readiness_funnel(benchmark, analysis, record):
+    text = benchmark(render_table3, analysis)
+    record("table3", text)
+    assert "Functional over IPv6-only" in text
+
+
+def test_bench_table4_dual_stack_deltas(benchmark, analysis, record):
+    text = benchmark(render_table4, analysis)
+    record("table4", text)
+    assert "AAAA DNS Request" in text
+
+
+def test_bench_table5_feature_support(benchmark, analysis, record):
+    text = benchmark(render_table5, analysis)
+    record("table5", text)
+    assert "Stateful DHCPv6" in text
+
+
+def test_bench_table6_counts(benchmark, analysis, record):
+    text = benchmark(render_table6, analysis)
+    record("table6", text)
+    assert "# of GUA Addr" in text
+
+
+def test_bench_table7_aaaa_readiness(benchmark, analysis, record):
+    text = benchmark(render_table7, analysis)
+    record("table7", text)
+    assert "functional/Total" in text
+
+
+def test_bench_table8_by_manufacturer(benchmark, analysis, record):
+    text = benchmark(render_table8, analysis)
+    record("table8", text)
+    assert "Google" in text and "OS:FireOS" in text
+
+
+def test_bench_table9_transitions(benchmark, analysis, record):
+    text = benchmark(render_table9, analysis)
+    record("table9", text)
+    assert "# IPv4 dest. partially extending to IPv6" in text
+
+
+def test_bench_table10_per_device(benchmark, analysis, record):
+    text = benchmark(render_table10, analysis)
+    record("table10", text)
+    assert "Samsung Fridge" in text and "Wemo Plug" in text
+
+
+def test_bench_table12_by_year(benchmark, analysis, record):
+    text = benchmark(render_table12, analysis)
+    record("table12", text)
+    assert "2017" in text and "2024" in text
+
+
+def test_bench_table13_addresses_by_group(benchmark, analysis, record):
+    text = benchmark(render_table13, analysis)
+    record("table13", text)
+    assert "AAAA Res" in text

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Dual-stack migration planning: what breaks if your ISP goes IPv6-only?
+
+For a chosen set of devices, runs the IPv4-only, IPv6-only and dual-stack
+experiments and reports, per device: whether it keeps working without IPv4,
+which of its destinations are the blockers (no AAAA records), and how much
+of its traffic already rides IPv6 in dual-stack — the migration checklist a
+network operator would want.
+
+Run:  python examples/dualstack_migration.py [device names ...]
+"""
+
+import sys
+
+from repro.core.analysis import StudyAnalysis
+from repro.core.destinations import DestinationAnalysis
+from repro.core.meta import metadata_from_profiles
+from repro.core.traffic import internet_volumes
+from repro.devices import build_inventory
+from repro.stack.config import DUAL_STACK, IPV4_ONLY, IPV6_ONLY
+from repro.testbed import Testbed, run_connectivity_experiment
+from repro.testbed.activedns import active_dns_queries
+from repro.testbed.study import Study, observed_domains
+
+DEFAULT_PICKS = [
+    "Google Home Mini",
+    "Nest Camera",
+    "Samsung Fridge",
+    "SmartLife Hub",
+    "Echo Show 5",
+    "TP-Link Kasa Plug",
+]
+
+
+def main() -> None:
+    picks = sys.argv[1:] or DEFAULT_PICKS
+    profiles = [p for p in build_inventory() if p.name in picks]
+    if not profiles:
+        raise SystemExit(f"no matching devices; try one of {DEFAULT_PICKS}")
+
+    testbed = Testbed(seed=3, profiles=profiles)
+    study = Study(testbed=testbed)
+    for config in (IPV4_ONLY, IPV6_ONLY, DUAL_STACK):
+        print(f"running {config.name} ...")
+        study.experiments[config.name] = run_connectivity_experiment(testbed, config)
+    study.active_dns = active_dns_queries(testbed.internet, observed_domains(study))
+
+    analysis = StudyAnalysis(study, metadata_from_profiles(profiles))
+    destinations = DestinationAnalysis(analysis)
+    volumes = internet_volumes(analysis, experiments=("dual-stack",))
+    v6_functional = study.experiment("ipv6-only").functionality
+
+    print("\nMigration readiness report")
+    print("=" * 70)
+    for profile in profiles:
+        name = profile.name
+        works = v6_functional.get(name, False)
+        fraction = volumes[name].v6_fraction
+        print(f"\n{name}")
+        print(f"  survives IPv6-only:      {'YES' if works else 'NO'}")
+        print(f"  IPv6 share in dual-stack: {100 * fraction:.0f}%")
+        if not works:
+            blockers = []
+            for domain in sorted(destinations.v4only[name].v4):
+                probe = study.active_dns.get(domain)
+                if probe is not None and not probe.has_aaaa:
+                    blockers.append(domain)
+            if blockers:
+                print(f"  blockers (no AAAA record): {len(blockers)} domains, e.g.")
+                for domain in blockers[:4]:
+                    print(f"    - {domain}")
+            else:
+                print("  blockers: device-side IPv6 support is missing entirely")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The complete measurement campaign: all 93 devices, all six experiments,
+plus the two active experiments — then every table and figure of the paper.
+
+Run:  python examples/full_study.py [--seed N] [--pcap-dir DIR]
+
+Takes a couple of minutes; pass ``--pcap-dir`` to also export each
+experiment's capture as a standard pcap file (openable in Wireshark).
+"""
+
+import argparse
+import time
+
+from repro.core.analysis import StudyAnalysis
+from repro.reports import (
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    render_table9,
+    render_table10,
+    render_table12,
+    render_table13,
+)
+from repro.testbed.study import run_full_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--pcap-dir", default=None, help="export pcaps here")
+    args = parser.parse_args()
+
+    start = time.time()
+    print("Running the full study (6 connectivity experiments, 93 devices) ...")
+    study = run_full_study(seed=args.seed)
+    print(f"done in {time.time() - start:.0f}s — {study.total_frames()} frames captured\n")
+
+    if args.pcap_dir:
+        paths = study.export_pcaps(args.pcap_dir)
+        print("pcaps written:", *[str(p) for p in paths], sep="\n  ")
+
+    analysis = StudyAnalysis(study)
+    print(render_table2(), end="\n\n")
+    print(render_table3(analysis), end="\n\n")
+    print(render_figure2(analysis), end="\n\n")
+    print(render_table4(analysis), end="\n\n")
+    print(render_table5(analysis), end="\n\n")
+    print(render_table6(analysis), end="\n\n")
+    print(render_figure3(analysis), end="\n\n")
+    print(render_figure4(analysis), end="\n\n")
+    print(render_table7(analysis), end="\n\n")
+    print(render_table8(analysis), end="\n\n")
+    print(render_table9(analysis), end="\n\n")
+    print(render_figure5(analysis), end="\n\n")
+    print(render_table10(analysis), end="\n\n")
+    print(render_table12(analysis), end="\n\n")
+    print(render_table13(analysis))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""repro — a full reproduction of "IoT Bricks Over v6" (IMC 2024).
+
+The package is organized bottom-up:
+
+- :mod:`repro.net` — wire formats (Ethernet … DNS/DHCPv6/TLS) and pcap I/O
+- :mod:`repro.sim` — deterministic discrete-event simulation substrate
+- :mod:`repro.stack` — host IPv4/IPv6 network stacks and the home router
+- :mod:`repro.cloud` — the simulated Internet: DNS registry and services
+- :mod:`repro.devices` — behaviour models for the 93 testbed devices
+- :mod:`repro.testbed` — the Mon(IoT)r-style lab and its experiments
+- :mod:`repro.core` — the paper's analysis pipeline (the contribution)
+- :mod:`repro.reports` — generators for every table and figure
+"""
+
+__version__ = "1.0.0"

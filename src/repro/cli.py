@@ -1,0 +1,114 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``study``    run the full measurement campaign and print every table/figure
+- ``tables``   run the campaign and print only the selected tables
+- ``pcap``     run the campaign and export per-experiment pcap files
+- ``devices``  print the curated 93-device inventory summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+TABLE_CHOICES = ["2", "3", "4", "5", "6", "7", "8", "9", "10", "12", "13"]
+FIGURE_CHOICES = ["2", "3", "4", "5"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="run everything, print all tables and figures")
+    study.add_argument("--seed", type=int, default=42)
+    study.add_argument("--no-scan", action="store_true", help="skip the port scans")
+
+    tables = sub.add_parser("tables", help="run the campaign, print selected tables")
+    tables.add_argument("numbers", nargs="+", choices=TABLE_CHOICES, metavar="N")
+    tables.add_argument("--seed", type=int, default=42)
+
+    pcap = sub.add_parser("pcap", help="run the campaign, export pcap files")
+    pcap.add_argument("directory")
+    pcap.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("devices", help="print the 93-device inventory")
+    return parser
+
+
+def _run_study(seed: int, with_scan: bool = True):
+    from repro.core.analysis import StudyAnalysis
+    from repro.testbed.study import run_full_study
+
+    start = time.time()
+    print(f"running the full study (seed={seed}) ...", file=sys.stderr)
+    study = run_full_study(seed=seed, with_port_scan=with_scan)
+    print(f"done in {time.time() - start:.0f}s ({study.total_frames()} frames)", file=sys.stderr)
+    return study, StudyAnalysis(study)
+
+
+def _print_tables(analysis, numbers: list[str]) -> None:
+    from repro import reports
+
+    renderers = {
+        "2": lambda a: reports.render_table2(),
+        "3": reports.render_table3,
+        "4": reports.render_table4,
+        "5": reports.render_table5,
+        "6": reports.render_table6,
+        "7": reports.render_table7,
+        "8": reports.render_table8,
+        "9": reports.render_table9,
+        "10": reports.render_table10,
+        "12": reports.render_table12,
+        "13": reports.render_table13,
+    }
+    for number in numbers:
+        print(renderers[number](analysis), end="\n\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "devices":
+        from repro.devices import build_inventory
+
+        for profile in build_inventory():
+            print(
+                f"{profile.name:24s} {profile.category.value:10s} "
+                f"{profile.manufacturer:22s} {profile.os or '-':14s} {profile.purchase_year}"
+            )
+        return 0
+
+    if args.command == "study":
+        from repro import reports
+
+        study, analysis = _run_study(args.seed, with_scan=not args.no_scan)
+        _print_tables(analysis, TABLE_CHOICES)
+        for renderer in (
+            reports.render_figure2,
+            reports.render_figure3,
+            reports.render_figure4,
+            reports.render_figure5,
+        ):
+            print(renderer(analysis), end="\n\n")
+        return 0
+
+    if args.command == "tables":
+        _, analysis = _run_study(args.seed)
+        _print_tables(analysis, args.numbers)
+        return 0
+
+    if args.command == "pcap":
+        study, _ = _run_study(args.seed, with_scan=False)
+        for path in study.export_pcaps(args.directory):
+            print(path)
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

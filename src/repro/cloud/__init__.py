@@ -1,0 +1,11 @@
+"""The simulated Internet: authoritative DNS and cloud service endpoints.
+
+The load-bearing variables of the paper — which destination domains have
+AAAA records, which are reachable over which IP version, which are
+first/support/third party — live here as explicit, inspectable state.
+"""
+
+from repro.cloud.registry import DnsRegistry, DomainRecord
+from repro.cloud.internet import Internet
+
+__all__ = ["DnsRegistry", "DomainRecord", "Internet"]

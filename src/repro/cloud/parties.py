@@ -1,0 +1,34 @@
+"""Canonical destination-party lists.
+
+The paper classifies destinations into first / support / third party using
+curated public lists (following Ren et al.). These are the simulated
+Internet's equivalents — shared by the workload generator (which places
+tracker and CDN domains) and by the analysis pipeline (which classifies what
+it observes), exactly as both real trackers and real analysts share the same
+public lists.
+"""
+
+TRACKER_SLDS = [
+    "app-measurement.example",
+    "omtrdc.example",
+    "segment.example",
+    "scorecard.example",
+    "branch-metrics.example",
+    "crashlytics.example",
+    "adjust-analytics.example",
+    "mixpanel.example",
+    "doubleclick.example",
+    "amplitude.example",
+    "bugsnag.example",
+    "sentry-ingest.example",
+    "newrelic-mobile.example",
+    "kochava.example",
+    "singular-track.example",
+    "flurry.example",
+]
+
+SUPPORT_SLDS = [
+    "fastedge-cdn.example",
+    "cloudpool-ntp.example",
+    "objectstore.example",
+]

@@ -1,0 +1,22 @@
+"""The paper's analysis pipeline (the primary contribution).
+
+Everything in this package operates on *observables only*: captured frames
+(``repro.net.pcap`` records), the lab's MAC inventory, functionality-test
+outcomes, and the two active experiments. Device profiles are never
+consulted — the pipeline recovers the paper's findings the same way the
+authors did, from tcpdump output.
+
+Modules:
+
+- :mod:`repro.core.capture` — frame parsing into typed events and flows
+- :mod:`repro.core.addressing` — §5.2.1 (address types, EUI-64, DAD, rotation)
+- :mod:`repro.core.dns_analysis` — §5.2.2 (AAAA/A behaviour per transport)
+- :mod:`repro.core.traffic` — §5.2.3 (data transmission, volume fractions)
+- :mod:`repro.core.readiness` — §5.1 (the RQ1 funnel, Tables 3/4/5/8/10/12)
+- :mod:`repro.core.destinations` — §5.3 (IP-version transitions, Tables 7/9)
+- :mod:`repro.core.privacy` — §5.4 (EUI-64 exposure, ports, tracking)
+"""
+
+from repro.core.capture import CaptureIndex
+
+__all__ = ["CaptureIndex"]

@@ -1,0 +1,353 @@
+"""Capture parsing: raw frames -> typed, per-device events.
+
+``CaptureIndex`` makes one pass over a capture and produces:
+
+- DNS query/response events (with transport family and query type),
+- DHCPv6/DHCPv4 protocol events,
+- NDP events (RS/RA/NS/NA, DAD solicitations),
+- per-device IPv6 address observations (assigned, used, DAD'd),
+- TCP/UDP application flows with byte counts, locality, and TLS SNI,
+- NTP events (data without DNS).
+
+Traffic is attributed to devices through the lab's MAC inventory, exactly as
+the paper attributed tcpdump output.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.net.dhcpv4 import DHCPv4
+from repro.net.dhcpv6 import DHCPv6
+from repro.net.dns import DNS, TYPE_A, TYPE_AAAA, TYPE_HTTPS, TYPE_SVCB
+from repro.net.ethernet import ETHERTYPE_IPV4, ETHERTYPE_IPV6, Ethernet
+from repro.net.icmpv6 import (
+    ICMPv6,
+    TYPE_NEIGHBOR_ADVERT,
+    TYPE_NEIGHBOR_SOLICIT,
+    TYPE_ROUTER_ADVERT,
+    TYPE_ROUTER_SOLICIT,
+)
+from repro.net.ip6 import AddressScope, UNSPECIFIED, classify_address
+from repro.net.ipv4 import IPv4
+from repro.net.ipv6 import IPv6
+from repro.net.mac import MacAddress
+from repro.net.packet import DecodeError
+from repro.net.pcap import PcapRecord
+from repro.net.tcp import TCP
+from repro.net.tls import TLSClientHello
+from repro.net.udp import UDP
+
+# Ports excluded from "data transmission" (§5.2.3 excludes DNS and DHCPv6;
+# we also exclude DHCPv4 and mDNS noise). NTP counts as data.
+NON_DATA_UDP_PORTS = {53, 67, 68, 546, 547, 5353}
+
+DEFAULT_LAN_V6 = ipaddress.IPv6Network("2001:db8:100::/64")
+DEFAULT_LAN_V4 = ipaddress.IPv4Network("192.168.10.0/24")
+BROADCAST_V4 = ipaddress.IPv4Address("255.255.255.255")
+
+
+@dataclass(frozen=True)
+class DnsQuery:
+    device: str
+    name: str
+    qtype: int
+    family: int
+    timestamp: float
+    src_ip: object
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    device: str
+    name: str
+    qtype: int
+    family: int
+    rcode: int
+    answers: tuple
+    timestamp: float
+
+    @property
+    def answered(self) -> bool:
+        return self.rcode == 0 and bool(self.answers)
+
+
+@dataclass(frozen=True)
+class NdpEvent:
+    device: str
+    kind: str            # "rs" | "ra" | "ns" | "na" | "dad"
+    target: Optional[object]
+    src_ip: object
+    timestamp: float
+
+
+@dataclass
+class AddressRecordObs:
+    """One IPv6 address observed for a device."""
+
+    address: ipaddress.IPv6Address
+    scope: AddressScope
+    dad_seen: bool = False
+    used_for_data: bool = False
+    used_for_dns: bool = False
+    used_at_all: bool = False
+    first_seen: float = 0.0
+
+
+@dataclass
+class Flow:
+    """One TCP or UDP conversation attributed to a device."""
+
+    device: str
+    proto: str           # "tcp" | "udp"
+    family: int
+    local_ip: object
+    remote_ip: object
+    local_port: int
+    remote_port: int
+    bytes_out: int = 0
+    bytes_in: int = 0
+    sni: Optional[str] = None
+    is_local: bool = False
+    first_seen: float = 0.0
+
+    @property
+    def is_data(self) -> bool:
+        if self.proto == "udp" and (self.remote_port in NON_DATA_UDP_PORTS or self.local_port in NON_DATA_UDP_PORTS):
+            return False
+        if self.remote_port in (53,) or self.local_port in (53,):
+            return False
+        return self.bytes_out + self.bytes_in > 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_out + self.bytes_in
+
+
+@dataclass
+class DhcpEvent:
+    device: str
+    protocol: str        # "dhcpv6" | "dhcpv4"
+    msg_type: int
+    stateful: bool
+    timestamp: float
+
+
+class CaptureIndex:
+    """A one-pass index over a capture."""
+
+    def __init__(
+        self,
+        records: Iterable[PcapRecord],
+        mac_table: dict[MacAddress, str],
+        *,
+        lan_v6=DEFAULT_LAN_V6,
+        lan_v4=DEFAULT_LAN_V4,
+    ):
+        self.mac_table = {MacAddress(mac): name for mac, name in mac_table.items()}
+        self.lan_v6 = lan_v6
+        self.lan_v4 = lan_v4
+
+        self.dns_queries: list[DnsQuery] = []
+        self.dns_responses: list[DnsResponse] = []
+        self.ndp_events: list[NdpEvent] = []
+        self.dhcp_events: list[DhcpEvent] = []
+        self.addresses: dict[str, dict[ipaddress.IPv6Address, AddressRecordObs]] = {}
+        self.ntp_v6_devices: set[str] = set()
+        self._flows: dict[tuple, Flow] = {}
+        self.frame_count = 0
+        self.decode_errors = 0
+
+        for record in records:
+            self._ingest(record)
+
+        self.tcp_flows = [f for f in self._flows.values() if f.proto == "tcp"]
+        self.udp_flows = [f for f in self._flows.values() if f.proto == "udp"]
+        self.flows = list(self._flows.values())
+
+    # ------------------------------------------------------------------ parse
+
+    def _device_for(self, mac: MacAddress) -> Optional[str]:
+        return self.mac_table.get(mac)
+
+    def _ingest(self, record: PcapRecord) -> None:
+        self.frame_count += 1
+        try:
+            frame = Ethernet.decode(record.data)
+        except DecodeError:
+            self.decode_errors += 1
+            return
+        if frame.ethertype == ETHERTYPE_IPV6 and isinstance(frame.payload, IPv6):
+            self._ingest_v6(record.timestamp, frame)
+        elif frame.ethertype == ETHERTYPE_IPV4 and isinstance(frame.payload, IPv4):
+            self._ingest_v4(record.timestamp, frame)
+
+    # -- IPv6 -------------------------------------------------------------------
+
+    def _address_obs(self, device: str, address: ipaddress.IPv6Address, ts: float) -> AddressRecordObs:
+        table = self.addresses.setdefault(device, {})
+        obs = table.get(address)
+        if obs is None:
+            obs = AddressRecordObs(address, classify_address(address), first_seen=ts)
+            table[address] = obs
+        return obs
+
+    def _ingest_v6(self, ts: float, frame: Ethernet) -> None:
+        packet: IPv6 = frame.payload
+        sender = self._device_for(frame.src)
+        receiver = self._device_for(frame.dst)
+        payload = packet.payload
+
+        if isinstance(payload, ICMPv6):
+            self._ingest_icmpv6(ts, sender, packet, payload)
+            return
+
+        if sender is not None and packet.src != UNSPECIFIED:
+            scope = classify_address(packet.src)
+            if scope not in (AddressScope.MULTICAST, AddressScope.UNSPECIFIED):
+                obs = self._address_obs(sender, packet.src, ts)
+                obs.used_at_all = True
+
+        if isinstance(payload, UDP):
+            self._ingest_udp(ts, sender, receiver, packet.src, packet.dst, payload, family=6)
+        elif isinstance(payload, TCP):
+            self._ingest_tcp(ts, sender, receiver, packet.src, packet.dst, payload, family=6)
+
+    def _ingest_icmpv6(self, ts: float, sender: Optional[str], packet: IPv6, message: ICMPv6) -> None:
+        t = message.icmp_type
+        if sender is None:
+            return
+        if t == TYPE_ROUTER_SOLICIT:
+            self.ndp_events.append(NdpEvent(sender, "rs", None, packet.src, ts))
+        elif t == TYPE_ROUTER_ADVERT:
+            self.ndp_events.append(NdpEvent(sender, "ra", None, packet.src, ts))
+        elif t == TYPE_NEIGHBOR_SOLICIT:
+            kind = "dad" if packet.src == UNSPECIFIED else "ns"
+            self.ndp_events.append(NdpEvent(sender, kind, message.target, packet.src, ts))
+            if kind == "dad" and message.target is not None:
+                obs = self._address_obs(sender, message.target, ts)
+                obs.dad_seen = True
+        elif t == TYPE_NEIGHBOR_ADVERT:
+            self.ndp_events.append(NdpEvent(sender, "na", message.target, packet.src, ts))
+            if message.target is not None:
+                self._address_obs(sender, message.target, ts)
+        if packet.src != UNSPECIFIED and classify_address(packet.src) not in (
+            AddressScope.MULTICAST,
+            AddressScope.UNSPECIFIED,
+        ):
+            self._address_obs(sender, packet.src, ts)
+
+    # -- IPv4 -------------------------------------------------------------------
+
+    def _ingest_v4(self, ts: float, frame: Ethernet) -> None:
+        packet: IPv4 = frame.payload
+        sender = self._device_for(frame.src)
+        receiver = self._device_for(frame.dst)
+        payload = packet.payload
+        if isinstance(payload, UDP):
+            self._ingest_udp(ts, sender, receiver, packet.src, packet.dst, payload, family=4)
+        elif isinstance(payload, TCP):
+            self._ingest_tcp(ts, sender, receiver, packet.src, packet.dst, payload, family=4)
+
+    # -- transports ---------------------------------------------------------------
+
+    def _is_local_dst(self, dst, family: int) -> bool:
+        if family == 6:
+            scope = classify_address(dst)
+            if scope in (AddressScope.LLA, AddressScope.ULA, AddressScope.MULTICAST):
+                return True
+            return dst in self.lan_v6
+        return dst in self.lan_v4 or dst == BROADCAST_V4 or dst.is_multicast
+
+    def _ingest_udp(self, ts, sender, receiver, src_ip, dst_ip, datagram: UDP, family: int) -> None:
+        inner = datagram.payload
+        # DNS
+        if datagram.dport == 53 and isinstance(inner, DNS) and sender is not None and not inner.is_response:
+            question = inner.question
+            if question is not None:
+                self.dns_queries.append(DnsQuery(sender, question.name, question.qtype, family, ts, src_ip))
+                if family == 6:
+                    obs = self._address_obs(sender, src_ip, ts)
+                    obs.used_for_dns = True
+            return
+        if datagram.sport == 53 and isinstance(inner, DNS) and receiver is not None and inner.is_response:
+            question = inner.question
+            if question is not None:
+                answers = tuple(
+                    rr.rdata for rr in inner.answers if rr.rtype in (TYPE_A, TYPE_AAAA, TYPE_HTTPS, TYPE_SVCB)
+                )
+                self.dns_responses.append(
+                    DnsResponse(receiver, question.name, question.qtype, family, inner.rcode, answers, ts)
+                )
+            return
+        # DHCP
+        if isinstance(inner, DHCPv6) and sender is not None and datagram.dport == 547:
+            self.dhcp_events.append(DhcpEvent(sender, "dhcpv6", inner.msg_type, inner.has_ia_na, ts))
+            return
+        if isinstance(inner, DHCPv4) and sender is not None and datagram.dport == 67:
+            self.dhcp_events.append(DhcpEvent(sender, "dhcpv4", inner.msg_type, False, ts))
+            return
+        if datagram.dport in NON_DATA_UDP_PORTS or datagram.sport in NON_DATA_UDP_PORTS:
+            return
+        # NTP over IPv6 is the canonical "data without DNS" signal
+        if family == 6 and datagram.dport == 123 and sender is not None:
+            self.ntp_v6_devices.add(sender)
+        self._record_flow(ts, sender, receiver, src_ip, dst_ip, datagram.sport, datagram.dport, "udp", family, inner)
+
+    def _ingest_tcp(self, ts, sender, receiver, src_ip, dst_ip, segment: TCP, family: int) -> None:
+        self._record_flow(ts, sender, receiver, src_ip, dst_ip, segment.sport, segment.dport, "tcp", family, segment.payload)
+
+    def _record_flow(self, ts, sender, receiver, src_ip, dst_ip, sport, dport, proto, family, inner) -> None:
+        payload_len = 0
+        if inner is not None:
+            encoded = inner.encode() if hasattr(inner, "encode") else b""
+            payload_len = len(encoded)
+        if sender is not None:
+            key = (sender, proto, family, src_ip, dst_ip, sport, dport)
+            reverse = (sender, proto, family, dst_ip, src_ip, dport, sport)
+            flow = self._flows.get(key) or self._flows.get(reverse)
+            if flow is None:
+                flow = Flow(
+                    sender, proto, family, src_ip, dst_ip, sport, dport,
+                    is_local=self._is_local_dst(dst_ip, family), first_seen=ts,
+                )
+                self._flows[key] = flow
+            flow.bytes_out += payload_len
+            if proto == "tcp" and isinstance(inner, TLSClientHello):
+                flow.sni = inner.server_name
+            if family == 6 and payload_len and not flow.is_local:
+                obs = self._address_obs(sender, src_ip, ts)
+                obs.used_for_data = True
+            return
+        if receiver is not None:
+            key = (receiver, proto, family, dst_ip, src_ip, dport, sport)
+            flow = self._flows.get(key)
+            if flow is None:
+                flow = Flow(
+                    receiver, proto, family, dst_ip, src_ip, dport, sport,
+                    is_local=self._is_local_dst(src_ip, family), first_seen=ts,
+                )
+                self._flows[key] = flow
+            flow.bytes_in += payload_len
+
+    # --------------------------------------------------------------- summaries
+
+    def devices_with_ndp(self) -> set[str]:
+        return {event.device for event in self.ndp_events}
+
+    def devices_with_address(self) -> set[str]:
+        return {device for device, table in self.addresses.items() if table}
+
+    def device_addresses(self, device: str) -> list[AddressRecordObs]:
+        return list(self.addresses.get(device, {}).values())
+
+    def data_flows(self, device: Optional[str] = None) -> list[Flow]:
+        return [f for f in self.flows if f.is_data and (device is None or f.device == device)]
+
+    def internet_data_devices(self, family: int) -> set[str]:
+        return {f.device for f in self.flows if f.is_data and not f.is_local and f.family == family}
+
+    def local_data_devices(self, family: int = 6) -> set[str]:
+        return {f.device for f in self.flows if f.is_data and f.is_local and f.family == family}

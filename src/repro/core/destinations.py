@@ -1,0 +1,186 @@
+"""§5.3 destination analysis: IP-version choice and transitions (Tables 7, 9).
+
+Destination domains are recovered from observables only: DNS answers map the
+addresses a device subsequently contacts back to names, and TLS SNI names
+destinations directly (including hardcoded-IPv6 relays that never touch
+DNS). Flows that resolve to no name (e.g. literal-address NTP) carry no
+domain, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.analysis import (
+    DUAL_STACK_EXPERIMENTS,
+    IPV6_ONLY_EXPERIMENTS,
+    StudyAnalysis,
+)
+from repro.core.meta import CATEGORY_ORDER
+from repro.net.dns import TYPE_A, TYPE_AAAA
+
+
+@dataclass
+class DeviceDestinations:
+    """Domains contacted by one device, per IP version, in one experiment
+    group."""
+
+    device: str
+    v4: set = field(default_factory=set)
+    v6: set = field(default_factory=set)
+
+    @property
+    def all(self) -> set:
+        return self.v4 | self.v6
+
+
+def _destinations_for(analysis: StudyAnalysis, experiments: Iterable[str]) -> dict[str, DeviceDestinations]:
+    result = {device: DeviceDestinations(device) for device in analysis.devices}
+    for experiment in experiments:
+        if experiment not in analysis.indexes:
+            continue
+        index = analysis.index(experiment)
+        # device -> resolved address -> name (per-device view of DNS)
+        addr_names: dict[str, dict] = {}
+        for response in index.dns_responses:
+            if response.qtype not in (TYPE_A, TYPE_AAAA) or not response.answered:
+                continue
+            table = addr_names.setdefault(response.device, {})
+            for answer in response.answers:
+                table[answer] = response.name
+        for flow in index.flows:
+            if not flow.is_data or flow.is_local or flow.device not in result:
+                continue
+            name = flow.sni or addr_names.get(flow.device, {}).get(flow.remote_ip)
+            if name is None:
+                continue
+            target = result[flow.device]
+            (target.v6 if flow.family == 6 else target.v4).add(name)
+    return result
+
+
+class DestinationAnalysis:
+    """Destination sets per experiment group, shared by Tables 7 and 9."""
+
+    def __init__(self, analysis: StudyAnalysis):
+        self.analysis = analysis
+        self.v4only = _destinations_for(analysis, ("ipv4-only",))
+        self.v6only = _destinations_for(analysis, IPV6_ONLY_EXPERIMENTS)
+        self.dual = _destinations_for(analysis, DUAL_STACK_EXPERIMENTS)
+        self.everything = _destinations_for(analysis, analysis.study.experiments.keys())
+
+    # ------------------------------------------------------------------ Table 9
+
+    def table9(self, active_dns: Optional[dict] = None) -> dict[str, dict]:
+        """Destination IP-version summary and dual-stack transitions."""
+        analysis = self.analysis
+        rows: dict[str, dict] = {
+            "# IPv6 Dest. Domain": {},
+            "# IPv4 Dest. Domain": {},
+            "# of Dest. Domain": {},
+            "# IPv4 dest. partially extending to IPv6": {},
+            "# IPv4 dest. fully switching to IPv6": {},
+            "# IPv6 dest. partially extending to IPv4": {},
+            "# IPv6 dest. fully switching to IPv4": {},
+            "# IPv4-only Dest. w/ AAAA": {},
+            "# common IPv4-only/dual dest.": {},
+            "# common IPv6-only/dual dest.": {},
+        }
+        active_dns = active_dns if active_dns is not None else self.analysis.study.active_dns
+
+        for category in CATEGORY_ORDER:
+            devices = [d for d in analysis.devices if analysis.metadata[d].category is category]
+            v6_count = v4_count = total = 0
+            partial_46 = full_46 = partial_64 = full_64 = v4_with_aaaa = 0
+            common_v4 = common_v6 = 0
+            for device in devices:
+                ever = self.everything[device]
+                v6_count += len(ever.v6)
+                v4_count += len(ever.v4)
+                total += len(ever.all)
+
+                v4o, v6o, dual = self.v4only[device], self.v6only[device], self.dual[device]
+                common_v4_dual = v4o.v4 & dual.all
+                common_v4 += len(common_v4_dual)
+                for name in common_v4_dual:
+                    if name in dual.v6 and name in dual.v4:
+                        partial_46 += 1
+                    elif name in dual.v6:
+                        full_46 += 1
+                common_v6_dual = v6o.v6 & dual.all
+                common_v6 += len(common_v6_dual)
+                for name in common_v6_dual:
+                    if name in dual.v4 and name in dual.v6:
+                        partial_64 += 1
+                    elif name in dual.v4:
+                        full_64 += 1
+                ever_v6 = self.everything[device].v6
+                for name in dual.v4 - dual.v6:
+                    if name in ever_v6:
+                        continue  # a version switcher, counted above
+                    probe = active_dns.get(name)
+                    if probe is not None and probe.has_aaaa:
+                        v4_with_aaaa += 1
+            rows["# IPv6 Dest. Domain"][category] = v6_count
+            rows["# IPv4 Dest. Domain"][category] = v4_count
+            rows["# of Dest. Domain"][category] = total
+            rows["# IPv4 dest. partially extending to IPv6"][category] = partial_46
+            rows["# IPv4 dest. fully switching to IPv6"][category] = full_46
+            rows["# IPv6 dest. partially extending to IPv4"][category] = partial_64
+            rows["# IPv6 dest. fully switching to IPv4"][category] = full_64
+            rows["# IPv4-only Dest. w/ AAAA"][category] = v4_with_aaaa
+            rows["# common IPv4-only/dual dest."][category] = common_v4
+            rows["# common IPv6-only/dual dest."][category] = common_v6
+        for row in rows.values():
+            row["Total"] = sum(row.values())
+        return rows
+
+    # ------------------------------------------------------------------ Table 7
+
+    def table7(self, active_dns: Optional[dict] = None) -> dict[str, dict]:
+        """Destination AAAA readiness for functional vs non-functional
+        devices, grouped by category and by manufacturer."""
+        analysis = self.analysis
+        active_dns = active_dns if active_dns is not None else analysis.study.active_dns
+        functional = {d for d in analysis.devices if analysis.ipv6_only_flags[d].functional}
+
+        def group_stats(devices: list[str]) -> dict:
+            domains: set = set()
+            for device in devices:
+                domains |= self.everything[device].all
+            ready = sum(1 for name in domains if active_dns.get(name) and active_dns[name].has_aaaa)
+            return {
+                "devices": len(devices),
+                "domains": len(domains),
+                "aaaa": ready,
+                "pct": 100.0 * ready / len(domains) if domains else 0.0,
+            }
+
+        table: dict[str, dict] = {}
+        for label, wanted in (("functional", True), ("non-functional", False)):
+            for category in CATEGORY_ORDER:
+                devices = [
+                    d
+                    for d in analysis.devices
+                    if analysis.metadata[d].category is category and (d in functional) == wanted
+                ]
+                if devices:
+                    table[f"{label}/{category.value}"] = group_stats(devices)
+            group_devices = [d for d in analysis.devices if (d in functional) == wanted]
+            table[f"{label}/Total"] = group_stats(group_devices)
+
+        # By manufacturer (>=3 devices, or any size for functional groups).
+        from collections import Counter
+
+        mfr_counts = Counter(analysis.metadata[d].manufacturer for d in analysis.devices)
+        for label, wanted in (("functional", True), ("non-functional", False)):
+            for manufacturer, count in mfr_counts.most_common():
+                devices = [
+                    d
+                    for d in analysis.devices
+                    if analysis.metadata[d].manufacturer == manufacturer and (d in functional) == wanted
+                ]
+                if devices and (wanted or count >= 3):
+                    table[f"{label}/mfr:{manufacturer}"] = group_stats(devices)
+        return table

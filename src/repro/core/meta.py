@@ -1,0 +1,53 @@
+"""Lab metadata available to the analyst.
+
+The paper's pipeline knows each device's identity (name, category,
+manufacturer, OS, purchase year) and its MAC address — the lab inventory —
+but nothing about firmware internals. This module is the only bridge between
+``repro.devices`` and ``repro.core``, and it carries identity only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.profile import Category, DeviceProfile
+from repro.net.mac import MacAddress
+
+CATEGORY_ORDER = [
+    Category.APPLIANCE,
+    Category.CAMERA,
+    Category.TV,
+    Category.GATEWAY,
+    Category.HEALTH,
+    Category.HOME_AUTO,
+    Category.SPEAKER,
+]
+
+
+@dataclass(frozen=True)
+class DeviceMeta:
+    """Identity of one device, as the lab inventory records it."""
+
+    name: str
+    category: Category
+    manufacturer: str
+    platform: str
+    os: str
+    purchase_year: int
+    mac: MacAddress
+
+
+def metadata_from_profiles(profiles: list[DeviceProfile]) -> dict[str, DeviceMeta]:
+    """Extract identity-only metadata (no behavioural fields)."""
+    return {
+        profile.name: DeviceMeta(
+            name=profile.name,
+            category=profile.category,
+            manufacturer=profile.manufacturer,
+            platform=profile.platform,
+            os=profile.os,
+            purchase_year=profile.purchase_year,
+            mac=profile.mac,
+        )
+        for profile in profiles
+    }

@@ -1,0 +1,169 @@
+"""§5.4 privacy and security analysis.
+
+- EUI-64 GUA exposure (Figure 5): which devices assign/use MAC-derived
+  global addresses, and which destinations see them;
+- destination party classification (first / support / third), list-based as
+  in the paper;
+- tracking-domain reduction in IPv6-only networks (§5.4.3);
+- open-port differences between IPv4 and IPv6 (§5.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cloud.parties import SUPPORT_SLDS as _SUPPORT, TRACKER_SLDS as _TRACKERS
+from repro.core.addressing import collect_addresses, eui64_usage
+from repro.core.analysis import (
+    DUAL_STACK_EXPERIMENTS,
+    IPV6_ONLY_EXPERIMENTS,
+    StudyAnalysis,
+    V6_ENABLED_EXPERIMENTS,
+)
+from repro.net.dns import TYPE_A, TYPE_AAAA
+from repro.net.ip6 import AddressScope, classify_address, mac_from_eui64
+
+# Party classification lists (the paper classified with curated public
+# lists; analysts and trackers share those lists by nature, so we import the
+# canonical ones).
+KNOWN_TRACKER_SLDS = set(_TRACKERS)
+KNOWN_SUPPORT_SLDS = set(_SUPPORT)
+
+
+def sld_of(name: str) -> str:
+    parts = name.rstrip(".").split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else name
+
+
+def classify_party(name: str) -> str:
+    sld = sld_of(name)
+    if sld in KNOWN_TRACKER_SLDS:
+        return "third"
+    if sld in KNOWN_SUPPORT_SLDS:
+        return "support"
+    return "first"
+
+
+# ------------------------------------------------------------------ Figure 5
+
+
+@dataclass
+class Eui64Exposure:
+    """The EUI-64 GUA funnel and the destinations that observed them."""
+
+    assigned: set = field(default_factory=set)
+    used: set = field(default_factory=set)
+    used_for_dns: set = field(default_factory=set)
+    used_for_data: set = field(default_factory=set)
+    dns_only: set = field(default_factory=set)
+    data_domains: dict = field(default_factory=dict)       # party -> set of names
+    dns_query_domains: dict = field(default_factory=dict)  # party -> set of names
+
+
+def eui64_exposure(analysis: StudyAnalysis) -> Eui64Exposure:
+    usage = eui64_usage(analysis)
+    report = Eui64Exposure()
+    for device, info in usage.items():
+        report.assigned.add(device)
+        if info["used"]:
+            report.used.add(device)
+        if info["dns"]:
+            report.used_for_dns.add(device)
+        if info["data"]:
+            report.used_for_data.add(device)
+    report.dns_only = report.used_for_dns - report.used_for_data
+
+    eui_addrs: dict[str, set] = {
+        device: set(info["addresses"]) for device, info in usage.items()
+    }
+
+    data_domains: set = set()
+    dns_domains: set = set()
+    for experiment in V6_ENABLED_EXPERIMENTS:
+        if experiment not in analysis.indexes:
+            continue
+        index = analysis.index(experiment)
+        addr_names: dict[str, dict] = {}
+        for response in index.dns_responses:
+            if response.qtype not in (TYPE_A, TYPE_AAAA) or not response.answered:
+                continue
+            addr_names.setdefault(response.device, {})
+            for answer in response.answers:
+                addr_names[response.device][answer] = response.name
+        for flow in index.flows:
+            addrs = eui_addrs.get(flow.device)
+            if not addrs or flow.family != 6 or flow.is_local or not flow.is_data:
+                continue
+            if flow.local_ip in addrs and flow.device in report.used_for_data:
+                name = flow.sni or addr_names.get(flow.device, {}).get(flow.remote_ip)
+                if name:
+                    data_domains.add(name)
+        for query in index.dns_queries:
+            addrs = eui_addrs.get(query.device)
+            if not addrs or query.family != 6:
+                continue
+            if query.src_ip in addrs and query.device in report.dns_only:
+                dns_domains.add(query.name)
+
+    for name in data_domains:
+        report.data_domains.setdefault(classify_party(name), set()).add(name)
+    for name in dns_domains:
+        report.dns_query_domains.setdefault(classify_party(name), set()).add(name)
+    return report
+
+
+# ------------------------------------------------------------------ §5.4.3
+
+
+@dataclass
+class TrackingReport:
+    """Domains that functional devices contact only over IPv4 (§5.4.3)."""
+
+    v4_only_domains: set = field(default_factory=set)
+    v4_only_slds: set = field(default_factory=set)
+    third_party_slds: set = field(default_factory=set)
+
+
+def tracking_domains(analysis: StudyAnalysis) -> TrackingReport:
+    from repro.core.destinations import DestinationAnalysis
+
+    destinations = DestinationAnalysis(analysis)
+    functional = [d for d in analysis.devices if analysis.ipv6_only_flags[d].functional]
+    report = TrackingReport()
+    for device in functional:
+        in_v4 = destinations.v4only[device].all
+        in_v6 = destinations.v6only[device].all
+        for name in in_v4 - in_v6:
+            report.v4_only_domains.add(name)
+            report.v4_only_slds.add(sld_of(name))
+    report.third_party_slds = {s for s in report.v4_only_slds if s in KNOWN_TRACKER_SLDS}
+    return report
+
+
+# ------------------------------------------------------------------ §5.4.2
+
+
+@dataclass
+class PortDiffReport:
+    """Open-port asymmetries between IPv4 and IPv6."""
+
+    v4_only_open: dict = field(default_factory=dict)   # device -> ports
+    v6_only_open: dict = field(default_factory=dict)
+    comparable_devices: set = field(default_factory=set)
+
+
+def port_diffs(analysis: StudyAnalysis, scan: Optional[object] = None) -> PortDiffReport:
+    scan = scan if scan is not None else analysis.study.port_scan
+    report = PortDiffReport()
+    if scan is None:
+        return report
+    report.comparable_devices = scan.scanned_v4 & scan.scanned_v6
+    for device in sorted(report.comparable_devices):
+        v4_only = scan.v4_only_tcp(device)
+        v6_only = scan.v6_only_tcp(device)
+        if v4_only:
+            report.v4_only_open[device] = sorted(v4_only)
+        if v6_only:
+            report.v6_only_open[device] = sorted(v6_only)
+    return report

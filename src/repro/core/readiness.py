@@ -1,0 +1,222 @@
+"""RQ1/RQ2 feature-support tables (Tables 3, 4, 5, 8, 10, 12; Figure 2).
+
+Every function takes a :class:`~repro.core.analysis.StudyAnalysis` and
+returns plain dict/list structures that the report renderers print.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from repro.core.analysis import DeviceFlags, StudyAnalysis
+from repro.core.meta import CATEGORY_ORDER
+
+# The readiness funnel of Table 3 / Figure 2, outermost ring first.
+FUNNEL_LEVELS: list[tuple[str, Callable[[DeviceFlags], bool]]] = [
+    ("IPv6 NDP Traffic", lambda f: f.ndp),
+    ("IPv6 Address", lambda f: f.addr),
+    ("IPv6 DNS (AAAA Req)", lambda f: f.aaaa_v6),
+    ("Internet TCP/UDP Data Comm.", lambda f: f.data_internet_v6),
+    ("Functional over IPv6-only", lambda f: f.functional),
+]
+
+
+def _cat_row(analysis: StudyAnalysis, flags, predicate) -> dict:
+    row = analysis.count_by_category(flags, predicate)
+    row["Total"] = sum(row.values())
+    return row
+
+
+def table3(analysis: StudyAnalysis) -> dict[str, dict]:
+    """The IPv6-only readiness funnel, rows keyed like the paper's Table 3."""
+    flags = analysis.ipv6_only_flags
+    rows = {
+        "Total # of Device": _cat_row(analysis, flags, lambda f: True),
+        "No IPv6": _cat_row(analysis, flags, lambda f: not f.ndp),
+        "IPv6 NDP Traffic": _cat_row(analysis, flags, lambda f: f.ndp),
+        "NDP Traffic No Addr": _cat_row(analysis, flags, lambda f: f.ndp and not f.addr),
+        "IPv6 Address": _cat_row(analysis, flags, lambda f: f.addr),
+        "Global Unique Address": _cat_row(analysis, flags, lambda f: f.gua),
+        "IPv6 Address but No IPv6 DNS": _cat_row(analysis, flags, lambda f: f.addr and not f.aaaa_v6),
+        "IPv6 DNS (AAAA Req)": _cat_row(analysis, flags, lambda f: f.aaaa_v6),
+        "AAAA DNS Response": _cat_row(analysis, flags, lambda f: f.aaaa_resp_v6),
+        "IPv6 DNS but No Data": _cat_row(analysis, flags, lambda f: f.aaaa_v6 and not f.data_internet_v6),
+        "Internet TCP/UDP Data Comm.": _cat_row(analysis, flags, lambda f: f.data_internet_v6),
+        "IPv6 Data but Not Func": _cat_row(analysis, flags, lambda f: f.data_internet_v6 and not f.functional),
+        "Functional over IPv6-only": _cat_row(analysis, flags, lambda f: f.functional),
+    }
+    return rows
+
+
+def figure2(analysis: StudyAnalysis) -> dict[str, dict]:
+    """Figure 2 = the funnel percentages of Table 3 per category."""
+    rows = table3(analysis)
+    total = rows["Total # of Device"]
+    out: dict[str, dict] = {}
+    for label in (
+        "IPv6 NDP Traffic",
+        "IPv6 Address",
+        "Global Unique Address",
+        "IPv6 DNS (AAAA Req)",
+        "Internet TCP/UDP Data Comm.",
+        "Functional over IPv6-only",
+    ):
+        out[label] = {
+            key: (100.0 * value / total[key] if total[key] else 0.0) for key, value in rows[label].items()
+        }
+    return out
+
+
+_TABLE4_METRICS: list[tuple[str, Callable[[DeviceFlags], bool]]] = [
+    ("IPv6 NDP Traffic", lambda f: f.ndp),
+    ("IPv6 Address", lambda f: f.addr),
+    ("Global Unique Address", lambda f: f.gua),
+    ("AAAA DNS Request", lambda f: f.aaaa_any),
+    ("AAAA DNS Response", lambda f: f.aaaa_resp),
+    ("Internet TCP/UDP Data Comm.", lambda f: f.data_internet_v6),
+]
+
+
+def table4(analysis: StudyAnalysis) -> dict[str, dict]:
+    """Dual-stack deltas vs IPv6-only (devices per category)."""
+    v6 = analysis.ipv6_only_flags
+    dual = analysis.dual_stack_flags
+    rows: dict[str, dict] = {}
+    for label, predicate in _TABLE4_METRICS:
+        row = {}
+        for category in CATEGORY_ORDER:
+            in_cat = [d for d in analysis.devices if analysis.metadata[d].category is category]
+            row[category] = sum(1 for d in in_cat if predicate(dual[d])) - sum(
+                1 for d in in_cat if predicate(v6[d])
+            )
+        row["Total"] = sum(row.values())
+        rows[label] = row
+    return rows
+
+
+_TABLE5_METRICS: list[tuple[str, Callable[[DeviceFlags], bool]]] = [
+    ("IPv6 Addr", lambda f: f.addr),
+    ("Stateful DHCPv6", lambda f: f.stateful_dhcpv6),
+    ("GUA", lambda f: f.gua),
+    ("ULA", lambda f: f.ula),
+    ("LLA", lambda f: f.lla),
+    ("EUI-64 Addr", lambda f: f.eui64_addr),
+    ("DNS Over IPv6", lambda f: f.dns_v6),
+    ("A-only Request in IPv6", lambda f: f.a_only_v6),
+    ("AAAA Request (v4 or v6)", lambda f: f.aaaa_any),
+    ("IPv4-only AAAA Request", lambda f: f.aaaa_v4_only_names),
+    ("AAAA Response", lambda f: f.aaaa_resp),
+    ("AAAA Req No AAAA Res", lambda f: f.aaaa_unanswered),
+    ("Stateless DHCPv6", lambda f: f.stateless_dhcpv6),
+    ("IPv6 TCP/UDP Trans", lambda f: f.data_v6),
+    ("Internet Trans", lambda f: f.data_internet_v6),
+    ("Local Trans", lambda f: f.data_local_v6),
+]
+
+
+def table5(analysis: StudyAnalysis) -> dict[str, dict]:
+    """Feature support across the IPv6-only + dual-stack experiments."""
+    flags = analysis.union_flags
+    rows = {"Total # of Device": _cat_row(analysis, flags, lambda f: True)}
+    for label, predicate in _TABLE5_METRICS:
+        rows[label] = _cat_row(analysis, flags, predicate)
+    return rows
+
+
+def _grouped(analysis: StudyAnalysis, key: Callable, min_size: int) -> list[str]:
+    counts = Counter(key(meta) for meta in analysis.metadata.values() if key(meta))
+    return [group for group, count in counts.most_common() if count >= min_size]
+
+
+def table8(analysis: StudyAnalysis, min_manufacturer: int = 3, min_os: int = 2) -> dict[str, dict]:
+    """Feature support by manufacturer/platform (>=3 devices) and OS (>=2)."""
+    flags = analysis.union_flags
+    v6only = analysis.ipv6_only_flags
+    manufacturers = _grouped(analysis, lambda m: m.manufacturer, min_manufacturer)
+    oses = _grouped(analysis, lambda m: m.os, min_os)
+
+    def group_devices(kind: str, group: str) -> list[str]:
+        if kind == "mfr":
+            return [d for d in analysis.devices if analysis.metadata[d].manufacturer == group]
+        return [d for d in analysis.devices if analysis.metadata[d].os == group]
+
+    metrics: list[tuple[str, Callable[[str], bool]]] = [
+        ("Device #", lambda d: True),
+        ("Functional over IPv6-only", lambda d: v6only[d].functional),
+        ("IPv6 Address", lambda d: flags[d].addr),
+        ("Stateful DHCPv6", lambda d: flags[d].stateful_dhcpv6),
+        ("GUA", lambda d: flags[d].gua),
+        ("ULA", lambda d: flags[d].ula),
+        ("LLA", lambda d: flags[d].lla),
+        ("GUA EUI-64 Address", lambda d: flags[d].gua_eui64),
+        ("DNS over IPv6", lambda d: flags[d].dns_v6),
+        ("A-only Req in IPv6", lambda d: flags[d].a_only_v6),
+        ("AAAA Req (v4 or v6)", lambda d: flags[d].aaaa_any),
+        ("IPv4-only AAAA Req", lambda d: flags[d].aaaa_v4_only_names),
+        ("AAAA Response", lambda d: flags[d].aaaa_resp),
+        ("AAAA Req No AAAA Res", lambda d: flags[d].aaaa_unanswered),
+        ("Stateless DHCPv6", lambda d: flags[d].stateless_dhcpv6),
+        ("IPv6 TCP/UDP Trans", lambda d: flags[d].data_v6),
+        ("Internet Trans", lambda d: flags[d].data_internet_v6),
+        ("Local Data Trans", lambda d: flags[d].data_local_v6),
+    ]
+    table: dict[str, dict] = {}
+    for label, predicate in metrics:
+        row: dict[str, int] = {"Total": sum(1 for d in analysis.devices if predicate(d))}
+        for group in manufacturers:
+            row[group] = sum(1 for d in group_devices("mfr", group) if predicate(d))
+        for group in oses:
+            row[f"OS:{group}"] = sum(1 for d in group_devices("os", group) if predicate(d))
+        table[label] = row
+    return table
+
+
+def table10(analysis: StudyAnalysis) -> list[dict]:
+    """Per-device feature flags (the paper's appendix Table 10)."""
+    union = analysis.union_flags
+    v6only = analysis.ipv6_only_flags
+    rows = []
+    for device in analysis.devices:
+        f = union[device]
+        rows.append(
+            {
+                "Device": device,
+                "Category": analysis.metadata[device].category.value,
+                "Functionability IPv6-only": v6only[device].functional,
+                "IPv6 NDP Traffic": f.ndp,
+                "IPv6 Address": f.addr,
+                "GUA": f.gua,
+                "DNS over IPv6": f.dns_v6,
+                "Global Data Comm": f.data_internet_v6,
+            }
+        )
+    return rows
+
+
+def table12(analysis: StudyAnalysis) -> dict[str, dict]:
+    """Feature support by purchase year (appendix Table 12)."""
+    union = analysis.union_flags
+    v6only = analysis.ipv6_only_flags
+    years = sorted({meta.purchase_year for meta in analysis.metadata.values()})
+    metrics: list[tuple[str, Callable[[str], bool]]] = [
+        ("# of Devices", lambda d: True),
+        ("IPv6 NDP Traffic", lambda d: union[d].ndp),
+        ("IPv6 Address", lambda d: union[d].addr),
+        ("GUA", lambda d: union[d].gua),
+        ("AAAA DNS Request", lambda d: union[d].aaaa_any),
+        ("AAAA Response", lambda d: union[d].aaaa_resp),
+        ("Internet TCP/UDP IPv6 Data", lambda d: union[d].data_internet_v6),
+        ("Functional over IPv6-only", lambda d: v6only[d].functional),
+    ]
+    table: dict[str, dict] = {}
+    for label, predicate in metrics:
+        table[label] = {
+            year: sum(
+                1
+                for d in analysis.devices
+                if analysis.metadata[d].purchase_year == year and predicate(d)
+            )
+            for year in years
+        }
+    return table

@@ -1,0 +1,69 @@
+"""§5.2.3 data-transmission analysis: volumes and IPv6 fractions (Fig. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import DUAL_STACK_EXPERIMENTS, StudyAnalysis
+from repro.core.meta import CATEGORY_ORDER
+
+
+@dataclass(frozen=True)
+class VolumeSummary:
+    device: str
+    v4_bytes: int
+    v6_bytes: int
+
+    @property
+    def total(self) -> int:
+        return self.v4_bytes + self.v6_bytes
+
+    @property
+    def v6_fraction(self) -> float:
+        return self.v6_bytes / self.total if self.total else 0.0
+
+
+def internet_volumes(analysis: StudyAnalysis, experiments=DUAL_STACK_EXPERIMENTS) -> dict[str, VolumeSummary]:
+    """Per-device Internet data volume by IP version (dual-stack)."""
+    v4: dict[str, int] = {d: 0 for d in analysis.devices}
+    v6: dict[str, int] = {d: 0 for d in analysis.devices}
+    for experiment in experiments:
+        if experiment not in analysis.indexes:
+            continue
+        for flow in analysis.index(experiment).flows:
+            if not flow.is_data or flow.is_local or flow.device not in v4:
+                continue
+            if flow.family == 6:
+                v6[flow.device] += flow.total_bytes
+            else:
+                v4[flow.device] += flow.total_bytes
+    return {d: VolumeSummary(d, v4[d], v6[d]) for d in analysis.devices}
+
+
+def figure4(analysis: StudyAnalysis) -> list[tuple[str, float, bool]]:
+    """Per-device IPv6 fraction of Internet volume in dual-stack, sorted
+    descending — (device, fraction, functional_in_ipv6_only)."""
+    volumes = internet_volumes(analysis)
+    functional = {d: analysis.ipv6_only_flags[d].functional for d in analysis.devices}
+    bars = [
+        (device, summary.v6_fraction, functional[device])
+        for device, summary in volumes.items()
+        if summary.v6_bytes > 0
+    ]
+    return sorted(bars, key=lambda item: item[1], reverse=True)
+
+
+def table6_volume_fractions(analysis: StudyAnalysis) -> dict:
+    """The volume-fraction row of Table 6 (per category + total)."""
+    volumes = internet_volumes(analysis)
+    row: dict = {}
+    grand_total = grand_v6 = 0
+    for category in CATEGORY_ORDER:
+        devices = [d for d in analysis.devices if analysis.metadata[d].category is category]
+        total = sum(volumes[d].total for d in devices)
+        v6 = sum(volumes[d].v6_bytes for d in devices)
+        row[category] = 100.0 * v6 / total if total else 0.0
+        grand_total += total
+        grand_v6 += v6
+    row["Total"] = 100.0 * grand_v6 / grand_total if grand_total else 0.0
+    return row

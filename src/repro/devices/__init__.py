@@ -1,0 +1,31 @@
+"""Behaviour models for the 93 consumer IoT devices of the testbed.
+
+``DeviceProfile`` (one per physical device, curated from the paper's
+Tables 3–10/12/13) captures *what* the device does in each network
+configuration; ``IoTDevice`` executes that behaviour on a real simulated
+stack so the analysis pipeline can recover the paper's results purely from
+captured traffic.
+"""
+
+from repro.devices.profile import (
+    Category,
+    DeviceProfile,
+    DomainPlan,
+    Party,
+    Phase,
+    PortfolioSpec,
+)
+from repro.devices.device import IoTDevice
+from repro.devices.inventory import build_inventory, device_by_name
+
+__all__ = [
+    "Category",
+    "DeviceProfile",
+    "DomainPlan",
+    "Party",
+    "Phase",
+    "PortfolioSpec",
+    "IoTDevice",
+    "build_inventory",
+    "device_by_name",
+]

@@ -1,0 +1,372 @@
+"""Destination-portfolio synthesis.
+
+Expands a device's :class:`PortfolioSpec` into a concrete list of
+:class:`DomainPlan` rows. Domain names are unique per device (FQDN =
+``<label><i>.<device-slug>.<zone>``) so distinct-domain counting is exact,
+while third-party names share well-known tracker second-level domains
+(``app-measurement.example`` …) so SLD-level tracking analysis (§5.4.3)
+works like the paper's.
+
+The generator enforces the spec's cardinalities by construction:
+
+- ``total`` distinct names;
+- ``aaaa_names`` ever AAAA-queried, of which ``aaaa_resp_names`` resolve and
+  ``aaaa_v4only_names`` are AAAA-queried only over the IPv4 resolver;
+- ``a_only_v6_names`` A-only names (never AAAA);
+- Table 9 transition classes (partial/full switches in dual-stack,
+  IPv4-keepers with valid AAAA);
+- ``tracking_v4only`` third-party SLDs that disappear in IPv6-only;
+- ``v6_literal_names`` hardcoded-IPv6 (SNI-only) destinations.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.parties import SUPPORT_SLDS, TRACKER_SLDS
+from repro.devices.profile import DeviceProfile, DomainPlan, Party, PortfolioSpec
+
+
+class PortfolioError(ValueError):
+    """Raised when a spec's counts are internally inconsistent."""
+
+
+def build_portfolio(profile: DeviceProfile) -> list[DomainPlan]:
+    """Expand ``profile.portfolio`` into concrete domain plans."""
+    spec = profile.portfolio
+    slug = profile.slug
+    zone = profile.vendor_zone
+    v6only = profile.v6only
+    dual = profile.dual
+
+    plans: list[DomainPlan] = []
+    counter = {"n": 0}
+
+    def fp_name(label: str) -> str:
+        counter["n"] += 1
+        return f"{label}{counter['n']}.{slug}.{zone}"
+
+    # ---- essential domains --------------------------------------------------
+    device_queries = v6only.dns_v6 or dual.dns_v6 or dual.aaaa_v4
+    for i in range(spec.essential):
+        plan = DomainPlan(
+            fp_name("api"),
+            essential=True,
+            has_aaaa=spec.essential_aaaa,
+            queries_aaaa=device_queries,
+            aaaa_transport_dual="v6" if dual.dns_v6 else "v4",
+            in_v6only=v6only.dns_v6,
+            data_v6_in_v6only=spec.essential_aaaa and v6only.data_v6,
+            data_v4_in_dual=True,
+            data_v6_in_dual=spec.essential_aaaa and dual.data_v6,
+        )
+        plans.append(plan)
+
+    # ---- Table 9 transition classes ----------------------------------------
+    overlap = min(spec.v4_to_v6_partial, spec.v6_to_v4_partial)
+    extra_43 = spec.v4_to_v6_partial - overlap
+    extra_34 = spec.v6_to_v4_partial - overlap
+
+    for _ in range(overlap):  # both numerators
+        plans.append(
+            DomainPlan(
+                fp_name("svc"),
+                has_aaaa=True,
+                queries_aaaa=True,
+                aaaa_transport_dual="v6" if dual.dns_v6 else "v4",
+                in_v4only=True,
+                in_v6only=v6only.dns_v6,
+                data_v6_in_v6only=v6only.data_v6 and v6only.dns_v6,
+                data_v4_in_dual=True,
+                data_v6_in_dual=True,
+            )
+        )
+    for _ in range(extra_43):  # v4 partially extends to v6; absent in IPv6-only
+        plans.append(
+            DomainPlan(
+                fp_name("edge"),
+                has_aaaa=True,
+                queries_aaaa=True,
+                aaaa_transport_dual="v6" if dual.dns_v6 else "v4",
+                in_v4only=True,
+                in_v6only=False,
+                data_v4_in_dual=True,
+                data_v6_in_dual=True,
+            )
+        )
+    for _ in range(extra_34):  # v6 partially extends to v4; absent in IPv4-only
+        plans.append(
+            DomainPlan(
+                fp_name("sync"),
+                has_aaaa=True,
+                queries_aaaa=True,
+                aaaa_transport_dual="v6" if dual.dns_v6 else "v4",
+                in_v4only=False,
+                in_v6only=v6only.dns_v6,
+                data_v6_in_v6only=v6only.data_v6 and v6only.dns_v6,
+                data_v4_in_dual=True,
+                data_v6_in_dual=True,
+            )
+        )
+    for _ in range(spec.v4_to_v6_full):  # fully switches to v6 in dual-stack
+        plans.append(
+            DomainPlan(
+                fp_name("media"),
+                has_aaaa=True,
+                queries_aaaa=True,
+                aaaa_transport_dual="v6" if dual.dns_v6 else "v4",
+                in_v4only=True,
+                in_v6only=v6only.dns_v6,
+                data_v6_in_v6only=v6only.data_v6 and v6only.dns_v6,
+                data_v4_in_dual=False,
+                data_v6_in_dual=True,
+            )
+        )
+    for _ in range(spec.v6_to_v4_full):  # abandons v6 in dual-stack
+        plans.append(
+            DomainPlan(
+                fp_name("push"),
+                has_aaaa=True,
+                queries_aaaa=True,
+                aaaa_transport_dual="v6" if dual.dns_v6 else "v4",
+                in_v4only=True,
+                in_v6only=v6only.dns_v6,
+                data_v6_in_v6only=v6only.data_v6 and v6only.dns_v6,
+                data_v4_in_dual=True,
+                data_v6_in_dual=False,
+            )
+        )
+    for _ in range(spec.v4only_with_aaaa):  # AAAA exists, never used
+        plans.append(
+            DomainPlan(
+                fp_name("legacy"),
+                has_aaaa=True,
+                queries_aaaa=False,
+                in_v4only=True,
+                in_v6only=False,
+                data_v4_in_dual=True,
+            )
+        )
+    for i in range(spec.v6_steady):  # IPv6 in both single- and dual-stack
+        # A few v6-capable destinations are third/support party (the
+        # analytics and NTP services of Fig. 5).
+        if i < spec.v6_third:
+            party = Party.THIRD
+            name = f"v6m{i}.{slug}.{TRACKER_SLDS[i % len(TRACKER_SLDS)]}"
+        elif i < spec.v6_third + spec.v6_support:
+            party = Party.SUPPORT
+            name = f"v6s{i}.{slug}.{SUPPORT_SLDS[i % len(SUPPORT_SLDS)]}"
+        else:
+            party = Party.FIRST
+            name = fp_name("feed")
+        plans.append(
+            DomainPlan(
+                name,
+                party=party,
+                has_aaaa=True,
+                queries_aaaa=True,
+                aaaa_transport_dual="v6" if dual.dns_v6 else "v4",
+                in_v4only=False,
+                in_v6only=v6only.dns_v6,
+                data_v6_in_v6only=v6only.data_v6 and v6only.dns_v6,
+                data_v4_in_dual=False,
+                data_v6_in_dual=dual.data_v6,
+            )
+        )
+
+    # ---- AAAA bookkeeping to hit the spec's distinct-name counts -----------
+    aaaa_so_far = sum(1 for p in plans if p.queries_aaaa)
+    resp_so_far = sum(1 for p in plans if p.queries_aaaa and p.has_aaaa)
+    if spec.aaaa_names < aaaa_so_far or spec.aaaa_resp_names < resp_so_far:
+        raise PortfolioError(
+            f"{profile.name}: aaaa_names={spec.aaaa_names}/resp={spec.aaaa_resp_names} "
+            f"below structural minimum {aaaa_so_far}/{resp_so_far}"
+        )
+    extra_resp = spec.aaaa_resp_names - resp_so_far
+    extra_unresolved = (spec.aaaa_names - aaaa_so_far) - extra_resp
+    if extra_unresolved < 0:
+        raise PortfolioError(f"{profile.name}: aaaa_resp_names exceeds remaining aaaa_names")
+    for _ in range(extra_resp):
+        # AAAA resolves, but the device's data for this service appears only
+        # in the IPv4-only experiment (different services active per run) —
+        # the paper's gap between 531 answered names and 769 v6 destinations.
+        plans.append(
+            DomainPlan(
+                fp_name("img"),
+                has_aaaa=True,
+                queries_aaaa=True,
+                aaaa_transport_dual="v6" if dual.dns_v6 else "v4",
+                in_v4only=True,
+                in_v6only=v6only.dns_v6,
+                data_v4_in_dual=False,
+            )
+        )
+    for i in range(extra_unresolved):
+        # Query-only names: looked up (service discovery, suffix probing)
+        # but never carrying data, so they count as DNS query names
+        # (Table 6) without inflating destination counts (Table 9).
+        if i < spec.tel_third:
+            party = Party.THIRD
+            name = f"q{i}.{slug}.{TRACKER_SLDS[(i + 1) % len(TRACKER_SLDS)]}"
+        elif i < spec.tel_third + spec.tel_support:
+            party = Party.SUPPORT
+            name = f"q{i}.{slug}.{SUPPORT_SLDS[i % len(SUPPORT_SLDS)]}"
+        else:
+            party = Party.FIRST
+            name = fp_name("telemetry")
+        plans.append(
+            DomainPlan(
+                name,
+                party=party,
+                has_aaaa=False,
+                queries_aaaa=True,
+                aaaa_transport_dual="v6" if dual.dns_v6 else "v4",
+                in_v4only=False,
+                in_v6only=v6only.dns_v6,
+                data_v4_in_dual=False,
+            )
+        )
+
+    # flip the required number of AAAA names to v4-resolver-only transport
+    flipped = 0
+    for plan in plans:
+        if flipped >= spec.aaaa_v4only_names:
+            break
+        if plan.queries_aaaa and dual.aaaa_v4:
+            plan.aaaa_transport_dual = "v4"
+            flipped += 1
+    if flipped < spec.aaaa_v4only_names:
+        raise PortfolioError(f"{profile.name}: cannot place {spec.aaaa_v4only_names} v4-only AAAA names")
+
+    # ---- A-only-in-IPv6 names ----------------------------------------------
+    for i in range(spec.a_only_v6_names):
+        essential_a = i < spec.essential_a_only
+        plans.append(
+            DomainPlan(
+                fp_name("time"),
+                essential=essential_a,
+                has_aaaa=essential_a,   # the a2.tuyaus.com irony of §5.1.3
+                queries_aaaa=False,
+                a_only_in_v6=True,
+                in_v4only=essential_a,
+                in_v6only=v6only.dns_v6,
+                data_v4_in_dual=essential_a,
+            )
+        )
+
+    # ---- hardcoded-IPv6 (SNI-only) relays -----------------------------------
+    for _ in range(spec.v6_literal_names):
+        plans.append(
+            DomainPlan(
+                fp_name("relay"),
+                has_a=False,
+                has_aaaa=True,
+                queries_aaaa=False,
+                v6_literal=True,
+                in_v4only=False,
+                in_v6only=v6only.data_v6,
+                data_v6_in_v6only=v6only.data_v6,
+                data_v4_in_dual=False,
+                data_v6_in_dual=dual.data_v6,
+            )
+        )
+    for _ in range(spec.v6_literal_with_v4):
+        # A literal relay that also has an A record and IPv4 traffic: a
+        # "partial v4 -> v6 extension" that needs no AAAA resolution.
+        plans.append(
+            DomainPlan(
+                fp_name("bridge"),
+                has_a=True,
+                has_aaaa=True,
+                queries_aaaa=False,
+                v6_literal=True,
+                in_v4only=True,
+                in_v6only=False,
+                data_v6_in_v6only=False,
+                data_v4_in_dual=True,
+                data_v6_in_dual=dual.data_v6,
+            )
+        )
+
+    # ---- third-party / support-party destinations ---------------------------
+    # Offset the tracker rotation per device so a fleet of devices spreads
+    # across many tracker SLDs (the paper's 13 third-party SLDs, §5.4.3).
+    tracker_offset = sum(slug.encode()) % len(TRACKER_SLDS)
+    for i in range(spec.tracking_v4only):
+        sld = TRACKER_SLDS[(tracker_offset + i) % len(TRACKER_SLDS)]
+        plans.append(
+            DomainPlan(
+                f"{slug}.{sld}",
+                party=Party.THIRD,
+                has_aaaa=False,
+                in_v4only=True,
+                in_v6only=False,
+                data_v4_in_dual=True,
+            )
+        )
+    remaining_third = spec.third - spec.tracking_v4only
+    for i in range(max(0, remaining_third)):
+        sld = TRACKER_SLDS[(tracker_offset + i + 3) % len(TRACKER_SLDS)]
+        plans.append(
+            DomainPlan(
+                f"t{i}.{slug}.{sld}",
+                party=Party.THIRD,
+                has_aaaa=False,
+                queries_aaaa=False,
+                in_v4only=True,
+                in_v6only=False,
+                data_v4_in_dual=True,
+            )
+        )
+    for i in range(spec.support):
+        sld = SUPPORT_SLDS[i % len(SUPPORT_SLDS)]
+        plans.append(
+            DomainPlan(
+                f"{slug}.{sld}",
+                party=Party.SUPPORT,
+                has_aaaa=False,
+                in_v4only=True,
+                in_v6only=v6only.dns_v6,
+                data_v4_in_dual=True,
+            )
+        )
+
+    # ---- plain IPv4-only fill to the total ----------------------------------
+    if len(plans) > spec.total:
+        raise PortfolioError(
+            f"{profile.name}: structural domains ({len(plans)}) exceed total ({spec.total})"
+        )
+    while len(plans) < spec.total:
+        plans.append(
+            DomainPlan(
+                fp_name("cfg"),
+                has_aaaa=False,
+                in_v4only=True,
+                in_v6only=False,
+                data_v4_in_dual=True,
+            )
+        )
+
+    _assign_volumes(plans, spec)
+    return plans
+
+
+# Volumes are scaled so per-flow application data dominates the fixed
+# TLS-handshake overhead (~1.4 kB per flow); without this, every device's
+# IPv6 volume fraction collapses toward its flow-count ratio.
+VOLUME_SCALE = 8
+
+
+def _assign_volumes(plans: list[DomainPlan], spec: PortfolioSpec) -> None:
+    """Split the dual-stack volume target across the portfolio."""
+    v6_plans = [p for p in plans if p.data_v6_in_dual]
+    v4_plans = [p for p in plans if p.data_v4_in_dual]
+    volume = spec.volume * VOLUME_SCALE
+    v6_budget = int(volume * spec.v6_volume_fraction)
+    v4_budget = volume - v6_budget
+    if v6_plans and v6_budget:
+        share, remainder = divmod(v6_budget, len(v6_plans))
+        for i, plan in enumerate(v6_plans):
+            plan.bytes_v6 = share + (1 if i < remainder else 0)
+    if v4_plans:
+        share, remainder = divmod(v4_budget, len(v4_plans))
+        for i, plan in enumerate(v4_plans):
+            plan.bytes_v4 = share + (1 if i < remainder else 0)

@@ -1,0 +1,78 @@
+"""Wire-format implementations used throughout the reproduction.
+
+This package implements, from scratch, every protocol artifact the paper's
+measurement pipeline observes on the wire: Ethernet, ARP, IPv4, IPv6, ICMPv6
+(including the full Neighbor Discovery message set), UDP, TCP, DNS, DHCPv4,
+DHCPv6, NTP, and a TLS ClientHello codec (for SNI extraction), plus pcap
+file I/O.
+
+All codecs are symmetric: ``encode`` produces the on-wire byte string and
+``decode`` parses it back; the test suite round-trips every layer. Importing
+this package wires up the decode dispatch registries (ethertype → L3,
+protocol number → transport, well-known port → application).
+"""
+
+from repro.net.mac import MacAddress
+from repro.net.ip6 import (
+    AddressScope,
+    classify_address,
+    eui64_interface_id,
+    is_eui64_interface_id,
+    link_local_from_mac,
+    mac_from_eui64,
+    solicited_node_multicast,
+    stable_interface_id,
+    temporary_interface_id,
+)
+from repro.net.packet import DecodeError, Layer, Raw
+from repro.net.ethernet import Ethernet, ETHERTYPE_ARP, ETHERTYPE_IPV4, ETHERTYPE_IPV6
+from repro.net.arp import ARP
+from repro.net.ipv4 import IPv4
+from repro.net.ipv6 import IPv6
+from repro.net.icmpv4 import ICMPv4
+from repro.net.icmpv6 import ICMPv6
+from repro.net.udp import UDP
+from repro.net.tcp import TCP
+from repro.net.dns import DNS, Question, ResourceRecord
+from repro.net.dhcpv4 import DHCPv4
+from repro.net.dhcpv6 import DHCPv6
+from repro.net.ntp import NTP
+from repro.net.tls import TLSClientHello
+from repro.net.pcap import PcapReader, PcapRecord, PcapWriter
+
+__all__ = [
+    "MacAddress",
+    "AddressScope",
+    "classify_address",
+    "eui64_interface_id",
+    "is_eui64_interface_id",
+    "link_local_from_mac",
+    "mac_from_eui64",
+    "solicited_node_multicast",
+    "stable_interface_id",
+    "temporary_interface_id",
+    "DecodeError",
+    "Layer",
+    "Raw",
+    "Ethernet",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_IPV6",
+    "ARP",
+    "ICMPv4",
+    "IPv4",
+    "IPv6",
+    "ICMPv6",
+    "UDP",
+    "TCP",
+    "DNS",
+    "Question",
+    "ResourceRecord",
+    "DHCPv4",
+    "DHCPv6",
+    "NTP",
+    "TLSClientHello",
+    "PcapReader",
+    "PcapRecord",
+    "PcapWriter",
+]

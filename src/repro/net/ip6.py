@@ -1,0 +1,167 @@
+"""IPv6 address taxonomy and interface-identifier generation.
+
+Implements the address machinery the paper analyzes:
+
+- classification into GUA / ULA / LLA / multicast / unspecified / loopback
+  (RFC 4291, RFC 4193),
+- EUI-64 interface identifiers derived from MAC addresses and their inverse
+  (RFC 4291 appendix A) — the privacy leak studied in §5.4.1,
+- RFC 7217 semantically-opaque stable identifiers,
+- RFC 8981 temporary (privacy-extension) identifiers,
+- the solicited-node multicast mapping used by NDP (RFC 4291 §2.7.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import ipaddress
+from typing import Union
+
+from repro.net.mac import MacAddress
+
+IPv6 = ipaddress.IPv6Address
+AnyV6 = Union[str, int, bytes, ipaddress.IPv6Address]
+
+ALL_NODES = ipaddress.IPv6Address("ff02::1")
+ALL_ROUTERS = ipaddress.IPv6Address("ff02::2")
+UNSPECIFIED = ipaddress.IPv6Address("::")
+LINK_LOCAL_PREFIX = ipaddress.IPv6Network("fe80::/64")
+ULA_PREFIX = ipaddress.IPv6Network("fc00::/7")
+GLOBAL_UNICAST_PREFIX = ipaddress.IPv6Network("2000::/3")
+
+
+class AddressScope(enum.Enum):
+    """The address categories of Table 1 / Table 5."""
+
+    GUA = "global unicast"
+    ULA = "unique local"
+    LLA = "link local"
+    MULTICAST = "multicast"
+    UNSPECIFIED = "unspecified"
+    LOOPBACK = "loopback"
+    OTHER = "other"
+
+
+def as_ipv6(value: AnyV6) -> ipaddress.IPv6Address:
+    """Coerce any reasonable representation to an ``IPv6Address``."""
+    if isinstance(value, ipaddress.IPv6Address):
+        return value
+    if isinstance(value, bytes):
+        if len(value) != 16:
+            raise ValueError("packed IPv6 address must be 16 bytes")
+        return ipaddress.IPv6Address(value)
+    return ipaddress.IPv6Address(value)
+
+
+def classify_address(addr: AnyV6) -> AddressScope:
+    """Classify an IPv6 address into the paper's taxonomy."""
+    a = as_ipv6(addr)
+    if a == UNSPECIFIED:
+        return AddressScope.UNSPECIFIED
+    if a.is_loopback:
+        return AddressScope.LOOPBACK
+    if a.is_multicast:
+        return AddressScope.MULTICAST
+    if a.is_link_local:
+        return AddressScope.LLA
+    if a in ULA_PREFIX:
+        return AddressScope.ULA
+    # RFC 4291: global unicast is currently allocated from 2000::/3. We use
+    # the allocation rather than ipaddress.is_global so that documentation
+    # space (2001:db8::/32, used by the simulated ISP) classifies as GUA,
+    # exactly as a capture analyst would treat any 2000::/3 source.
+    if a in GLOBAL_UNICAST_PREFIX or a.is_global:
+        return AddressScope.GUA
+    return AddressScope.OTHER
+
+
+def eui64_interface_id(mac: MacAddress) -> bytes:
+    """The modified EUI-64 interface identifier for a MAC (RFC 4291 app. A).
+
+    Inserts ``ff:fe`` in the middle and flips the universal/local bit.
+    """
+    m = mac.packed
+    return bytes([m[0] ^ 0x02]) + m[1:3] + b"\xff\xfe" + m[3:6]
+
+
+def is_eui64_interface_id(iid: bytes) -> bool:
+    """True when an 8-byte interface identifier has the EUI-64 ff:fe marker."""
+    if len(iid) != 8:
+        raise ValueError("interface identifier must be 8 bytes")
+    return iid[3:5] == b"\xff\xfe"
+
+
+def mac_from_eui64(addr: AnyV6) -> MacAddress | None:
+    """Recover the embedded MAC from an EUI-64 formed address, if present.
+
+    This is the tracking primitive of §5.4.1: any on-path observer can run it
+    on an EUI-64 SLAAC address. Returns ``None`` when the interface identifier
+    does not carry the ``ff:fe`` marker.
+    """
+    packed = as_ipv6(addr).packed
+    iid = packed[8:]
+    if not is_eui64_interface_id(iid):
+        return None
+    return MacAddress(bytes([iid[0] ^ 0x02]) + iid[1:3] + iid[5:8])
+
+
+def interface_id(addr: AnyV6) -> bytes:
+    """The low-order 64 bits of an address."""
+    return as_ipv6(addr).packed[8:]
+
+
+def from_prefix_and_iid(prefix: AnyV6, iid: bytes) -> ipaddress.IPv6Address:
+    """Combine a /64 prefix with an 8-byte interface identifier."""
+    if len(iid) != 8:
+        raise ValueError("interface identifier must be 8 bytes")
+    return ipaddress.IPv6Address(as_ipv6(prefix).packed[:8] + iid)
+
+
+def stable_interface_id(prefix: AnyV6, mac: MacAddress, secret: bytes, dad_counter: int = 0) -> bytes:
+    """An RFC 7217 semantically-opaque, stable interface identifier.
+
+    Deterministic per (prefix, interface, secret) so the host keeps the same
+    address on the same network but is unlinkable across networks.
+    """
+    digest = hashlib.sha256(
+        as_ipv6(prefix).packed[:8] + mac.packed + dad_counter.to_bytes(4, "big") + secret
+    ).digest()
+    iid = bytearray(digest[:8])
+    iid[3:5] = b"\x00\x00" if iid[3:5] == b"\xff\xfe" else iid[3:5]
+    return bytes(iid)
+
+
+def temporary_interface_id(rng_bytes: bytes) -> bytes:
+    """An RFC 8981 temporary (privacy) interface identifier.
+
+    ``rng_bytes`` are 8 random bytes from the caller's seeded RNG; the
+    universal/local bit is cleared and the EUI-64 marker is avoided, as the
+    RFC requires.
+    """
+    if len(rng_bytes) != 8:
+        raise ValueError("need 8 random bytes")
+    iid = bytearray(rng_bytes)
+    iid[0] &= 0xFD  # clear the universal/local bit
+    if iid[3:5] == b"\xff\xfe":
+        iid[4] = 0x00
+    return bytes(iid)
+
+
+def solicited_node_multicast(addr: AnyV6) -> ipaddress.IPv6Address:
+    """The solicited-node multicast group for a unicast address."""
+    low24 = as_ipv6(addr).packed[13:]
+    return ipaddress.IPv6Address(b"\xff\x02" + b"\x00" * 9 + b"\x01\xff" + low24)
+
+
+def multicast_mac(addr: AnyV6) -> MacAddress:
+    """The Ethernet address an IPv6 multicast destination maps to."""
+    a = as_ipv6(addr)
+    if not a.is_multicast:
+        raise ValueError(f"{a} is not multicast")
+    return MacAddress.ipv6_multicast(a.packed[12:])
+
+
+def link_local_from_mac(mac: MacAddress) -> ipaddress.IPv6Address:
+    """The EUI-64 link-local address for a MAC."""
+    return from_prefix_and_iid(LINK_LOCAL_PREFIX.network_address, eui64_interface_id(mac))

@@ -1,0 +1,89 @@
+"""IPv4 (RFC 791) — the baseline protocol of the IPv4-only experiments."""
+
+from __future__ import annotations
+
+import ipaddress
+
+from repro.net.checksum import internet_checksum
+from repro.net.packet import IP_PROTO_DECODERS, DecodeError, Layer, Raw, register_ethertype
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+def as_ipv4(value) -> ipaddress.IPv4Address:
+    if isinstance(value, ipaddress.IPv4Address):
+        return value
+    return ipaddress.IPv4Address(value)
+
+
+class IPv4(Layer):
+    """An IPv4 header (no options) plus payload."""
+
+    __slots__ = ("src", "dst", "proto", "ttl", "identification", "payload")
+
+    def __init__(self, src, dst, proto: int, payload: Layer | None = None, ttl: int = 64, identification: int = 0):
+        self.src = as_ipv4(src)
+        self.dst = as_ipv4(dst)
+        self.proto = proto
+        self.ttl = ttl
+        self.identification = identification
+        self.payload = payload
+
+    def _payload_bytes(self) -> bytes:
+        if self.payload is None:
+            return b""
+        encode = getattr(self.payload, "encode_transport", None)
+        if encode is not None:
+            return encode(self.src, self.dst)
+        return self.payload.encode()
+
+    def encode(self) -> bytes:
+        body = self._payload_bytes()
+        total_length = 20 + len(body)
+        header = bytearray(20)
+        header[0] = (4 << 4) | 5  # version + IHL
+        header[2:4] = total_length.to_bytes(2, "big")
+        header[4:6] = self.identification.to_bytes(2, "big")
+        header[8] = self.ttl
+        header[9] = self.proto
+        header[12:16] = self.src.packed
+        header[16:20] = self.dst.packed
+        header[10:12] = internet_checksum(bytes(header)).to_bytes(2, "big")
+        return bytes(header) + body
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IPv4":
+        if len(data) < 20:
+            raise DecodeError("IPv4 header too short")
+        version = data[0] >> 4
+        if version != 4:
+            raise DecodeError(f"not IPv4 (version={version})")
+        ihl = (data[0] & 0x0F) * 4
+        total_length = int.from_bytes(data[2:4], "big")
+        if total_length > len(data) or ihl < 20:
+            raise DecodeError("IPv4 length fields inconsistent")
+        src = ipaddress.IPv4Address(data[12:16])
+        dst = ipaddress.IPv4Address(data[16:20])
+        proto = data[9]
+        body = data[ihl:total_length]
+        decoder = IP_PROTO_DECODERS.get(proto)
+        if decoder is not None:
+            payload: Layer = decoder(body, src, dst)
+        else:
+            payload = Raw(body)
+        return cls(
+            src,
+            dst,
+            proto,
+            payload,
+            ttl=data[8],
+            identification=int.from_bytes(data[4:6], "big"),
+        )
+
+    def __repr__(self) -> str:
+        return f"IPv4({self.src} > {self.dst}, proto={self.proto})"
+
+
+register_ethertype(0x0800, IPv4.decode)

@@ -1,0 +1,96 @@
+"""48-bit MAC (EUI-48) addresses.
+
+The paper's privacy analysis (§5.4.1) hinges on recovering device MAC
+addresses from EUI-64 IPv6 interface identifiers, so the MAC type carries the
+helpers that analysis needs: OUI extraction, multicast/locally-administered
+bits, and the IPv6 multicast-mapping used by Ethernet delivery.
+"""
+
+from __future__ import annotations
+
+import re
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
+
+
+class MacAddress:
+    """An immutable 48-bit Ethernet hardware address."""
+
+    __slots__ = ("_value",)
+
+    BROADCAST: "MacAddress"
+
+    def __init__(self, value: "bytes | str | int | MacAddress"):
+        if isinstance(value, MacAddress):
+            self._value = value._value
+        elif isinstance(value, bytes):
+            if len(value) != 6:
+                raise ValueError(f"MAC address must be 6 bytes, got {len(value)}")
+            self._value = value
+        elif isinstance(value, str):
+            if not _MAC_RE.match(value):
+                raise ValueError(f"invalid MAC address string: {value!r}")
+            self._value = bytes(int(part, 16) for part in re.split(r"[:\-]", value))
+        elif isinstance(value, int):
+            if not 0 <= value < 1 << 48:
+                raise ValueError("MAC address integer out of range")
+            self._value = value.to_bytes(6, "big")
+        else:
+            raise TypeError(f"cannot build MacAddress from {type(value).__name__}")
+
+    @property
+    def packed(self) -> bytes:
+        """The 6-byte big-endian wire representation."""
+        return self._value
+
+    @property
+    def oui(self) -> bytes:
+        """The 3-byte Organizationally Unique Identifier."""
+        return self._value[:3]
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the I/G bit is set (group address)."""
+        return bool(self._value[0] & 0x01)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == b"\xff" * 6
+
+    @property
+    def is_locally_administered(self) -> bool:
+        """True when the U/L bit is set (not a burned-in address)."""
+        return bool(self._value[0] & 0x02)
+
+    @classmethod
+    def ipv6_multicast(cls, group_low32: bytes) -> "MacAddress":
+        """The Ethernet address mapping an IPv6 multicast group (RFC 2464 §7).
+
+        ``group_low32`` is the low-order 32 bits of the IPv6 group address.
+        """
+        if len(group_low32) != 4:
+            raise ValueError("need the low-order 4 bytes of the group address")
+        return cls(b"\x33\x33" + group_low32)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MacAddress):
+            return self._value == other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __int__(self) -> int:
+        return int.from_bytes(self._value, "big")
+
+    def __str__(self) -> str:
+        return ":".join(f"{b:02x}" for b in self._value)
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        return self._value < other._value
+
+
+MacAddress.BROADCAST = MacAddress(b"\xff" * 6)

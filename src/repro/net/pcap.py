@@ -1,0 +1,98 @@
+"""Classic libpcap file I/O (the testbed's tcpdump-equivalent).
+
+Captures written by :class:`PcapWriter` use the standard magic and
+LINKTYPE_ETHERNET, so they open in tcpdump/tshark/wireshark unchanged. The
+analysis pipeline can consume either live in-memory captures or pcap files
+read back through :class:`PcapReader`.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+MAGIC = 0xA1B2C3D4
+MAGIC_SWAPPED = 0xD4C3B2A1
+VERSION_MAJOR = 2
+VERSION_MINOR = 4
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured frame: a timestamp (seconds) and the raw bytes."""
+
+    timestamp: float
+    data: bytes
+
+
+class PcapWriter:
+    """Writes classic pcap with microsecond timestamps."""
+
+    def __init__(self, stream: BinaryIO, snaplen: int = 65535):
+        self._stream = stream
+        self._stream.write(
+            _GLOBAL_HEADER.pack(MAGIC, VERSION_MAJOR, VERSION_MINOR, 0, 0, snaplen, LINKTYPE_ETHERNET)
+        )
+
+    def write(self, timestamp: float, data: bytes) -> None:
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros == 1_000_000:
+            seconds, micros = seconds + 1, 0
+        self._stream.write(_RECORD_HEADER.pack(seconds, micros, len(data), len(data)))
+        self._stream.write(data)
+
+    def write_all(self, records: Iterable[PcapRecord]) -> None:
+        for record in records:
+            self.write(record.timestamp, record.data)
+
+
+class PcapReader:
+    """Reads classic pcap in either byte order."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        header = stream.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise ValueError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == MAGIC:
+            self._order = "<"
+        elif magic == MAGIC_SWAPPED:
+            self._order = ">"
+        else:
+            raise ValueError(f"not a pcap file (magic=0x{magic:08x})")
+        fields = struct.unpack(self._order + "IHHiIII", header)
+        self.linktype = fields[6]
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        record_header = struct.Struct(self._order + "IIII")
+        while True:
+            header = self._stream.read(record_header.size)
+            if not header:
+                return
+            if len(header) < record_header.size:
+                raise ValueError("truncated pcap record header")
+            seconds, micros, caplen, _origlen = record_header.unpack(header)
+            data = self._stream.read(caplen)
+            if len(data) < caplen:
+                raise ValueError("truncated pcap record body")
+            yield PcapRecord(seconds + micros / 1_000_000, data)
+
+
+def dump_records(records: Iterable[PcapRecord]) -> bytes:
+    """Serialize records to pcap bytes in memory."""
+    buffer = io.BytesIO()
+    PcapWriter(buffer).write_all(records)
+    return buffer.getvalue()
+
+
+def load_records(data: bytes) -> list[PcapRecord]:
+    """Parse pcap bytes into records."""
+    return list(PcapReader(io.BytesIO(data)))

@@ -1,0 +1,128 @@
+"""TCP segments (RFC 9293 header format).
+
+The simulator uses a simplified reliable-stream model on top of these
+segments (see ``repro.stack.sockets``); the codec here is a faithful header
+implementation so that captures contain realistic SYN/SYN-ACK/data/FIN
+exchanges the analysis pipeline (and the port scanner) can interpret.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+from repro.net.checksum import ipv4_pseudo_header, ipv6_pseudo_header, transport_checksum
+from repro.net.packet import DecodeError, Layer, decode_tcp_payload, register_ip_proto
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+
+class TCP(Layer):
+    """A TCP segment (no options)."""
+
+    __slots__ = ("sport", "dport", "seq", "ack", "flags", "window", "payload", "checksum_ok")
+
+    def __init__(
+        self,
+        sport: int,
+        dport: int,
+        flags: int,
+        seq: int = 0,
+        ack: int = 0,
+        window: int = 65535,
+        payload: Layer | None = None,
+    ):
+        self.sport = sport
+        self.dport = dport
+        self.flags = flags
+        self.seq = seq
+        self.ack = ack
+        self.window = window
+        self.payload = payload
+        self.checksum_ok: bool | None = None
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def ack_flag(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+    def _payload_bytes(self) -> bytes:
+        return self.payload.encode() if self.payload is not None else b""
+
+    def _header(self, checksum: int = 0) -> bytes:
+        return (
+            self.sport.to_bytes(2, "big")
+            + self.dport.to_bytes(2, "big")
+            + (self.seq & 0xFFFFFFFF).to_bytes(4, "big")
+            + (self.ack & 0xFFFFFFFF).to_bytes(4, "big")
+            + bytes([(5 << 4), self.flags & 0x3F])
+            + self.window.to_bytes(2, "big")
+            + checksum.to_bytes(2, "big")
+            + b"\x00\x00"  # urgent pointer
+        )
+
+    def encode_transport(self, src, dst) -> bytes:
+        body = self._payload_bytes()
+        length = 20 + len(body)
+        if isinstance(src, ipaddress.IPv6Address):
+            pseudo = ipv6_pseudo_header(src, dst, 6, length)
+        else:
+            pseudo = ipv4_pseudo_header(src, dst, 6, length)
+        checksum = transport_checksum(pseudo, self._header(0) + body)
+        return self._header(checksum) + body
+
+    def encode(self) -> bytes:
+        return self._header(0) + self._payload_bytes()
+
+    @classmethod
+    def decode(cls, data: bytes, src=None, dst=None) -> "TCP":
+        if len(data) < 20:
+            raise DecodeError("TCP header too short")
+        data_offset = (data[12] >> 4) * 4
+        if data_offset < 20 or data_offset > len(data):
+            raise DecodeError("TCP data offset inconsistent")
+        sport = int.from_bytes(data[0:2], "big")
+        dport = int.from_bytes(data[2:4], "big")
+        body = data[data_offset:]
+        segment = cls(
+            sport,
+            dport,
+            flags=data[13] & 0x3F,
+            seq=int.from_bytes(data[4:8], "big"),
+            ack=int.from_bytes(data[8:12], "big"),
+            window=int.from_bytes(data[14:16], "big"),
+            payload=decode_tcp_payload(sport, dport, body),
+        )
+        if src is not None and dst is not None:
+            wire_checksum = int.from_bytes(data[16:18], "big")
+            if isinstance(src, ipaddress.IPv6Address):
+                pseudo = ipv6_pseudo_header(src, dst, 6, len(data))
+            else:
+                pseudo = ipv4_pseudo_header(src, dst, 6, len(data))
+            recomputed = transport_checksum(pseudo, data[:16] + b"\x00\x00" + data[18:])
+            segment.checksum_ok = recomputed == wire_checksum
+        return segment
+
+    def __repr__(self) -> str:
+        names = []
+        for bit, name in ((FLAG_SYN, "SYN"), (FLAG_ACK, "ACK"), (FLAG_FIN, "FIN"), (FLAG_RST, "RST"), (FLAG_PSH, "PSH")):
+            if self.flags & bit:
+                names.append(name)
+        return f"TCP({self.sport} > {self.dport}, [{'|'.join(names)}])"
+
+
+register_ip_proto(6, TCP.decode)

@@ -1,0 +1,79 @@
+"""UDP (RFC 768) with v4/v6 pseudo-header checksums."""
+
+from __future__ import annotations
+
+import ipaddress
+
+from repro.net.checksum import ipv4_pseudo_header, ipv6_pseudo_header, transport_checksum
+from repro.net.packet import DecodeError, Layer, decode_udp_payload, register_ip_proto
+
+
+class UDP(Layer):
+    """A UDP datagram."""
+
+    __slots__ = ("sport", "dport", "payload", "checksum_ok")
+
+    def __init__(self, sport: int, dport: int, payload: Layer | None = None):
+        self.sport = sport
+        self.dport = dport
+        self.payload = payload
+        self.checksum_ok: bool | None = None
+
+    def _payload_bytes(self) -> bytes:
+        return self.payload.encode() if self.payload is not None else b""
+
+    def encode_transport(self, src, dst) -> bytes:
+        body = self._payload_bytes()
+        length = 8 + len(body)
+        header = (
+            self.sport.to_bytes(2, "big")
+            + self.dport.to_bytes(2, "big")
+            + length.to_bytes(2, "big")
+            + b"\x00\x00"
+        )
+        if isinstance(src, ipaddress.IPv6Address):
+            pseudo = ipv6_pseudo_header(src, dst, 17, length)
+        else:
+            pseudo = ipv4_pseudo_header(src, dst, 17, length)
+        checksum = transport_checksum(pseudo, header + body)
+        return header[:6] + checksum.to_bytes(2, "big") + body
+
+    def encode(self) -> bytes:
+        """Encode without a pseudo-header (checksum zeroed); used only when a
+        UDP datagram is serialized outside an IP layer."""
+        body = self._payload_bytes()
+        length = 8 + len(body)
+        return (
+            self.sport.to_bytes(2, "big")
+            + self.dport.to_bytes(2, "big")
+            + length.to_bytes(2, "big")
+            + b"\x00\x00"
+            + body
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, src=None, dst=None) -> "UDP":
+        if len(data) < 8:
+            raise DecodeError("UDP header too short")
+        sport = int.from_bytes(data[0:2], "big")
+        dport = int.from_bytes(data[2:4], "big")
+        length = int.from_bytes(data[4:6], "big")
+        if length < 8 or length > len(data):
+            raise DecodeError("UDP length inconsistent")
+        wire_checksum = int.from_bytes(data[6:8], "big")
+        body = data[8:length]
+        udp = cls(sport, dport, decode_udp_payload(sport, dport, body))
+        if src is not None and dst is not None and wire_checksum != 0:
+            if isinstance(src, ipaddress.IPv6Address):
+                pseudo = ipv6_pseudo_header(src, dst, 17, length)
+            else:
+                pseudo = ipv4_pseudo_header(src, dst, 17, length)
+            recomputed = transport_checksum(pseudo, data[:6] + b"\x00\x00" + body)
+            udp.checksum_ok = recomputed == wire_checksum
+        return udp
+
+    def __repr__(self) -> str:
+        return f"UDP({self.sport} > {self.dport})"
+
+
+register_ip_proto(17, UDP.decode)

@@ -1,0 +1,51 @@
+"""Report generators: one entry point per paper table and figure.
+
+Each ``table*``/``figure*`` function returns the underlying data structure;
+``render_*`` helpers produce the aligned-text form the benchmarks print.
+"""
+
+from repro.reports.tables import (
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    render_table9,
+    render_table10,
+    render_table12,
+    render_table13,
+)
+from repro.reports.figures import (
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+)
+
+__all__ = [
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+    "render_table7",
+    "render_table8",
+    "render_table9",
+    "render_table10",
+    "render_table12",
+    "render_table13",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "figure5_data",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+]

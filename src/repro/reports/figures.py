@@ -1,0 +1,110 @@
+"""Data series + ASCII renderings for the paper's figures."""
+
+from __future__ import annotations
+
+from repro.core import addressing, dns_analysis, readiness, traffic
+from repro.core.analysis import StudyAnalysis
+from repro.core.meta import CATEGORY_ORDER
+from repro.core.privacy import eui64_exposure
+from repro.reports.render import format_table
+
+
+# ------------------------------------------------------------------ Figure 2
+
+
+def figure2_data(analysis: StudyAnalysis) -> dict[str, dict]:
+    """Per-category funnel percentages (the rings of Figure 2)."""
+    return readiness.figure2(analysis)
+
+
+def render_figure2(analysis: StudyAnalysis) -> str:
+    data = figure2_data(analysis)
+    rows = [
+        [label] + [f"{row[c]:.1f}%" for c in CATEGORY_ORDER] + [f"{row['Total']:.1f}%"]
+        for label, row in data.items()
+    ]
+    return format_table(
+        "Figure 2: IPv6-only readiness funnel (percent of devices)",
+        ["Ring"] + [c.value for c in CATEGORY_ORDER] + ["Total"],
+        rows,
+    )
+
+
+# ------------------------------------------------------------------ Figure 3
+
+
+def figure3_data(analysis: StudyAnalysis) -> dict[str, list[tuple[str, int]]]:
+    """Sorted per-device counts for both CDFs."""
+    return {
+        "addresses": addressing.figure3_address_cdf(analysis),
+        "aaaa_queries": dns_analysis.figure3_query_cdf(analysis),
+    }
+
+
+def _cdf_summary(series: list[tuple[str, int]], label: str) -> list[str]:
+    total = sum(count for _, count in series)
+    lines = [f"{label}: {len(series)} devices, {total} total"]
+    if not series:
+        return lines
+    top = sorted(series, key=lambda item: item[1], reverse=True)
+    for k in (5, 10):
+        share = 100.0 * sum(c for _, c in top[:k]) / total if total else 0.0
+        lines.append(f"  top-{k} devices hold {share:.0f}% of the total")
+    lines.append("  highest: " + ", ".join(f"{name}={count}" for name, count in top[:5]))
+    return lines
+
+
+def render_figure3(analysis: StudyAnalysis) -> str:
+    data = figure3_data(analysis)
+    lines = ["Figure 3: CDFs of per-device IPv6 addresses and AAAA queries", "=" * 60]
+    lines += _cdf_summary(data["addresses"], "IPv6 addresses per device")
+    lines += _cdf_summary(data["aaaa_queries"], "Distinct AAAA queries per device")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ Figure 4
+
+
+def figure4_data(analysis: StudyAnalysis) -> list[tuple[str, float, bool]]:
+    return traffic.figure4(analysis)
+
+
+def render_figure4(analysis: StudyAnalysis) -> str:
+    bars = figure4_data(analysis)
+    lines = ["Figure 4: IPv6 fraction of Internet data volume (dual-stack)", "=" * 60]
+    for device, fraction, functional in bars:
+        bar = "#" * int(round(fraction * 40))
+        marker = "functional" if functional else "non-functional"
+        lines.append(f"{device:24s} {100 * fraction:5.1f}% {bar:<40s} [{marker}]")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ Figure 5
+
+
+def figure5_data(analysis: StudyAnalysis) -> dict:
+    report = eui64_exposure(analysis)
+    return {
+        "assigned": sorted(report.assigned),
+        "used": sorted(report.used),
+        "dns": sorted(report.used_for_dns),
+        "data": sorted(report.used_for_data),
+        "data_domains": {party: sorted(names) for party, names in report.data_domains.items()},
+        "dns_query_domains": {party: sorted(names) for party, names in report.dns_query_domains.items()},
+    }
+
+
+def render_figure5(analysis: StudyAnalysis) -> str:
+    data = figure5_data(analysis)
+    lines = ["Figure 5: GUA EUI-64 assignment, usage, and exposure", "=" * 60]
+    lines.append(f"assign GUA EUI-64:      {len(data['assigned'])} devices")
+    lines.append(f"use GUA EUI-64:         {len(data['used'])} devices")
+    lines.append(f"use for DNS:            {len(data['dns'])} devices")
+    lines.append(f"use for Internet data:  {len(data['data'])} devices")
+    for block, label in (("data_domains", "domains contacted from EUI-64 sources"),
+                         ("dns_query_domains", "domains queried (DNS-only devices)")):
+        parties = data[block]
+        total = sum(len(v) for v in parties.values())
+        detail = ", ".join(f"{party}={len(names)}" for party, names in sorted(parties.items()))
+        lines.append(f"{label}: {total} ({detail})")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Plain-text table rendering used by every report."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_table(title: str, headers: list[str], rows: Iterable[list]) -> str:
+    """Align columns; first column left, the rest right."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) if i == 0 else h.rjust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, bool):
+        return "Y" if value else "-"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

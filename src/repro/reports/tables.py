@@ -1,0 +1,183 @@
+"""Text renderers for every table in the paper."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core import addressing, dns_analysis, readiness, traffic
+from repro.core.analysis import StudyAnalysis
+from repro.core.destinations import DestinationAnalysis
+from repro.core.meta import CATEGORY_ORDER
+from repro.net.ip6 import AddressScope
+from repro.reports.render import format_table
+from repro.stack.config import ALL_CONFIGS
+
+_CAT_HEADERS = [c.value for c in CATEGORY_ORDER] + ["Total"]
+
+
+def _cat_table(title: str, rows: dict[str, dict], percent_base: dict | None = None) -> str:
+    body = []
+    for label, row in rows.items():
+        cells = [label] + [row[c] for c in CATEGORY_ORDER] + [row["Total"]]
+        if percent_base is not None and percent_base.get("Total"):
+            cells.append(f"{100.0 * row['Total'] / percent_base['Total']:.1f}%")
+        body.append(cells)
+    headers = ["Metric"] + _CAT_HEADERS + (["%"] if percent_base is not None else [])
+    return format_table(title, headers, body)
+
+
+def render_table2() -> str:
+    rows = [
+        [c.name, c.ipv4, c.slaac_rdnss, c.stateless_dhcpv6, c.stateful_dhcpv6]
+        for c in ALL_CONFIGS
+    ]
+    return format_table(
+        "Table 2: Connectivity experiments configuration",
+        ["Experiment", "IPv4", "SLAAC+RDNSS", "Stateless DHCPv6", "Stateful DHCPv6"],
+        rows,
+    )
+
+
+def render_table3(analysis: StudyAnalysis) -> str:
+    rows = readiness.table3(analysis)
+    return _cat_table(
+        "Table 3: IPv6-only experiments — feature support per category",
+        rows,
+        percent_base=rows["Total # of Device"],
+    )
+
+
+def render_table4(analysis: StudyAnalysis) -> str:
+    return _cat_table(
+        "Table 4: Dual-stack deltas vs IPv6-only (devices per category)",
+        readiness.table4(analysis),
+    )
+
+
+def render_table5(analysis: StudyAnalysis) -> str:
+    rows = readiness.table5(analysis)
+    return _cat_table(
+        "Table 5: IPv6-only + dual-stack — feature support per category",
+        rows,
+        percent_base=rows["Total # of Device"],
+    )
+
+
+def render_table6(analysis: StudyAnalysis) -> str:
+    rows = dict(addressing.table6_address_counts(analysis))
+    rows.update(dns_analysis.table6_dns_counts(analysis))
+    fractions = traffic.table6_volume_fractions(analysis)
+    body = _cat_table("Table 6: address and DNS query counts", rows)
+    frac_line = "IPv6 Fraction of Total Volume (%): " + "  ".join(
+        f"{c.value}={fractions[c]:.1f}" for c in CATEGORY_ORDER
+    ) + f"  Total={fractions['Total']:.1f}"
+    return body + "\n" + frac_line
+
+
+def render_table7(analysis: StudyAnalysis) -> str:
+    table = DestinationAnalysis(analysis).table7()
+    rows = [
+        [group, stats["devices"], stats["domains"], stats["aaaa"], f"{stats['pct']:.1f}%"]
+        for group, stats in table.items()
+    ]
+    return format_table(
+        "Table 7: DNS AAAA readiness across destinations",
+        ["Group", "Device #", "Domain #", "AAAA Res. #", "AAAA Res. %"],
+        rows,
+    )
+
+
+def render_table8(analysis: StudyAnalysis) -> str:
+    table = readiness.table8(analysis)
+    groups = list(next(iter(table.values())).keys())
+    rows = [[label] + [row[g] for g in groups] for label, row in table.items()]
+    return format_table(
+        "Table 8: feature support by manufacturer/platform and OS",
+        ["Metric"] + groups,
+        rows,
+    )
+
+
+def render_table9(analysis: StudyAnalysis) -> str:
+    return _cat_table(
+        "Table 9: destination IP-version transitions in dual-stack",
+        DestinationAnalysis(analysis).table9(),
+    )
+
+
+def render_table10(analysis: StudyAnalysis) -> str:
+    rows = readiness.table10(analysis)
+    body = [
+        [
+            r["Device"],
+            r["Category"],
+            r["Functionability IPv6-only"],
+            r["IPv6 NDP Traffic"],
+            r["IPv6 Address"],
+            r["GUA"],
+            r["DNS over IPv6"],
+            r["Global Data Comm"],
+        ]
+        for r in rows
+    ]
+    totals = ["Total", "", *(sum(1 for r in rows if r[k]) for k in (
+        "Functionability IPv6-only", "IPv6 NDP Traffic", "IPv6 Address", "GUA", "DNS over IPv6", "Global Data Comm"))]
+    body.append(totals)
+    return format_table(
+        "Table 10: per-device IPv6 features (IPv6-only and dual-stack)",
+        ["Device", "Category", "Func v6-only", "NDP", "Addr", "GUA", "DNS/IPv6", "Data"],
+        body,
+    )
+
+
+def render_table12(analysis: StudyAnalysis) -> str:
+    table = readiness.table12(analysis)
+    years = list(next(iter(table.values())).keys())
+    rows = [[label] + [row[y] for y in years] for label, row in table.items()]
+    return format_table(
+        "Table 12: IPv6 features by purchase year",
+        ["Metric"] + [str(y) for y in years],
+        rows,
+    )
+
+
+def render_table13(analysis: StudyAnalysis) -> str:
+    summaries_addr = addressing.collect_addresses(analysis)
+    summaries_dns = dns_analysis.collect_dns(analysis)
+    meta = analysis.metadata
+
+    mfr_counts = Counter(m.manufacturer for m in meta.values())
+    groups = [("Total", lambda d: True)]
+    groups += [
+        (mfr, (lambda d, m=mfr: meta[d].manufacturer == m))
+        for mfr, n in mfr_counts.most_common()
+        if n >= 3
+    ]
+    os_counts = Counter(m.os for m in meta.values() if m.os)
+    groups += [
+        (f"OS:{os_name}", (lambda d, o=os_name: meta[d].os == o))
+        for os_name, n in os_counts.most_common()
+        if n >= 2
+    ]
+
+    metrics = [
+        ("IPv6 Address", lambda d: summaries_addr[d].total),
+        ("GUA", lambda d: summaries_addr[d].count(AddressScope.GUA)),
+        ("ULA", lambda d: summaries_addr[d].count(AddressScope.ULA)),
+        ("LLA", lambda d: summaries_addr[d].count(AddressScope.LLA)),
+        ("AAAA Req", lambda d: len(summaries_dns[d].aaaa_all)),
+        ("A only Req in IPv6", lambda d: len(summaries_dns[d].a_only_v6)),
+        ("IPv4-only AAAA Req", lambda d: len(summaries_dns[d].aaaa_over_v4)),
+        ("AAAA Res", lambda d: len(summaries_dns[d].answered_aaaa)),
+    ]
+    rows = []
+    for label, value_fn in metrics:
+        row = [label]
+        for _, predicate in groups:
+            row.append(sum(value_fn(d) for d in analysis.devices if predicate(d)))
+        rows.append(row)
+    return format_table(
+        "Table 13: addresses and distinct DNS queries per manufacturer and OS",
+        ["Metric"] + [g for g, _ in groups],
+        rows,
+    )

@@ -1,0 +1,14 @@
+"""Deterministic discrete-event simulation substrate.
+
+The testbed runs on a single-threaded event loop with virtual time: every
+protocol timer (RA intervals, DAD delays, DHCP retransmits, device check-in
+schedules) is an event, and a seeded RNG drives all randomness, so a study
+run is reproducible bit-for-bit.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.link import EthernetLink
+from repro.sim.nic import Nic
+from repro.sim.node import Node
+
+__all__ = ["Event", "Simulator", "EthernetLink", "Nic", "Node"]

@@ -1,0 +1,91 @@
+"""The discrete-event engine."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Events scheduled for the same instant fire in scheduling order. The
+    engine owns the only RNG in the system; components derive child RNGs via
+    :meth:`rng_for` so that adding a device never perturbs another device's
+    random stream.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now = 0.0
+        self.seed = seed
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._rng = random.Random(seed)
+
+    def rng_for(self, name: str) -> random.Random:
+        """A child RNG with a stream derived from (seed, name)."""
+        return random.Random(f"{self.seed}/{name}")
+
+    def schedule(self, delay: float, callback: Callable, *args) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, next(self._sequence), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable, *args) -> Event:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def run_until(self, time: float) -> None:
+        """Process events up to and including virtual time ``time``."""
+        while self._queue and self._queue[0].time <= time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(*event.args)
+        self.now = max(self.now, time)
+
+    def run(self, duration: float) -> None:
+        """Advance virtual time by ``duration`` seconds."""
+        self.run_until(self.now + duration)
+
+    def run_all(self, limit: int = 10_000_000) -> None:
+        """Drain the queue completely (bounded by ``limit`` events)."""
+        for _ in range(limit):
+            if not self._queue:
+                return
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(*event.args)
+        raise RuntimeError(f"event limit exceeded ({limit}); runaway timer?")
+
+    @property
+    def pending(self) -> int:
+        """The number of not-yet-cancelled queued events."""
+        return sum(1 for e in self._queue if not e.cancelled)

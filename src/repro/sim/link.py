@@ -1,0 +1,81 @@
+"""A shared Ethernet broadcast domain with capture taps.
+
+The testbed LAN is one L2 segment. Delivery is switched: unicast frames go
+only to the owning NIC (plus promiscuous ones), multicast/broadcast frames go
+to every NIC — one simulator event per frame either way, so a 93-device LAN
+stays cheap. Capture taps see every frame (the simulation's tcpdump).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.sim.engine import Simulator
+    from repro.sim.nic import Nic
+
+Tap = Callable[[float, bytes], None]
+
+
+class EthernetLink:
+    """A zero-loss switched segment."""
+
+    def __init__(self, sim: "Simulator", latency: float = 0.0005, name: str = "lan"):
+        self.sim = sim
+        self.latency = latency
+        self.name = name
+        self._nics: list["Nic"] = []
+        self._by_mac: dict[bytes, "Nic"] = {}
+        self._promiscuous: list["Nic"] = []
+        self._taps: list[Tap] = []
+
+    def attach(self, nic: "Nic") -> None:
+        if nic in self._nics:
+            raise ValueError(f"{nic} already attached to {self.name}")
+        self._nics.append(nic)
+        self._by_mac[nic.mac.packed] = nic
+        if nic.promiscuous:
+            self._promiscuous.append(nic)
+
+    def detach(self, nic: "Nic") -> None:
+        self._nics.remove(nic)
+        self._by_mac.pop(nic.mac.packed, None)
+        if nic in self._promiscuous:
+            self._promiscuous.remove(nic)
+
+    def rebind(self, nic: "Nic", old_mac: bytes) -> None:
+        """Update the switching table after a NIC's MAC changes."""
+        self._by_mac.pop(old_mac, None)
+        self._by_mac[nic.mac.packed] = nic
+
+    def add_tap(self, tap: Tap) -> None:
+        """Register a capture callback invoked for every transmitted frame."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Tap) -> None:
+        self._taps.remove(tap)
+
+    def transmit(self, sender: "Nic", frame: bytes) -> None:
+        """Deliver ``frame`` after the link latency (one event per frame)."""
+        for tap in self._taps:
+            tap(self.sim.now, frame)
+        if len(frame) < 6:
+            return
+        self.sim.schedule(self.latency, self._deliver, sender, frame)
+
+    def _deliver(self, sender: "Nic", frame: bytes) -> None:
+        dst = frame[0:6]
+        if dst[0] & 0x01:  # multicast / broadcast: flood
+            for nic in self._nics:
+                if nic is not sender:
+                    nic.deliver(frame)
+            return
+        owner = self._by_mac.get(dst)
+        if owner is not None and owner is not sender:
+            owner.deliver(frame)
+        for nic in self._promiscuous:
+            if nic is not sender and nic is not owner:
+                nic.deliver(frame)
+
+    def __repr__(self) -> str:
+        return f"EthernetLink({self.name}, nics={len(self._nics)})"

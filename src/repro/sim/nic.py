@@ -1,0 +1,59 @@
+"""A network interface: MAC filtering and multicast group membership."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.ethernet import Ethernet
+from repro.net.mac import MacAddress
+from repro.net.packet import DecodeError
+
+if TYPE_CHECKING:
+    from repro.sim.link import EthernetLink
+    from repro.sim.node import Node
+
+
+class Nic:
+    """One interface of a node, attached to a link."""
+
+    def __init__(self, node: "Node", mac: MacAddress, link: "EthernetLink", promiscuous: bool = False):
+        self.node = node
+        self.mac = MacAddress(mac)
+        self.link = link
+        self.promiscuous = promiscuous
+        self._multicast: set[MacAddress] = {MacAddress("33:33:00:00:00:01")}  # all-nodes
+        link.attach(self)
+
+    def join_multicast(self, mac: MacAddress) -> None:
+        self._multicast.add(MacAddress(mac))
+
+    def leave_multicast(self, mac: MacAddress) -> None:
+        self._multicast.discard(MacAddress(mac))
+
+    def send(self, frame: Ethernet) -> None:
+        """Serialize and put a frame on the wire."""
+        self.link.transmit(self, frame.encode())
+
+    def send_raw(self, frame: bytes) -> None:
+        self.link.transmit(self, frame)
+
+    def accepts(self, dst: MacAddress) -> bool:
+        if self.promiscuous or dst == self.mac or dst.is_broadcast:
+            return True
+        return dst in self._multicast
+
+    def deliver(self, frame: bytes) -> None:
+        """Called by the link; filters by destination and hands up."""
+        if len(frame) < 14:
+            return
+        dst = MacAddress(frame[0:6])
+        if not self.accepts(dst):
+            return
+        try:
+            decoded = Ethernet.decode(frame)
+        except DecodeError:
+            return
+        self.node.handle_frame(self, decoded)
+
+    def __repr__(self) -> str:
+        return f"Nic({self.mac} on {self.link.name})"

@@ -1,0 +1,29 @@
+"""Base class for everything attached to the simulated network."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.net.ethernet import Ethernet
+    from repro.sim.engine import Simulator
+    from repro.sim.nic import Nic
+
+
+class Node:
+    """A named participant in the simulation owning one or more NICs."""
+
+    def __init__(self, sim: "Simulator", name: str):
+        self.sim = sim
+        self.name = name
+        self.nics: list["Nic"] = []
+
+    def add_nic(self, nic: "Nic") -> "Nic":
+        self.nics.append(nic)
+        return nic
+
+    def handle_frame(self, nic: "Nic", frame: "Ethernet") -> None:
+        """Override to process frames accepted by one of this node's NICs."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"

@@ -1,0 +1,16 @@
+"""Host network stacks and the home router.
+
+``HostStack`` implements the device-side protocol engines the paper
+exercises: NDP (RS/RA, NS/NA, DAD), SLAAC with EUI-64 / temporary / stable
+interface identifiers, stateless and stateful DHCPv6, RDNSS consumption,
+DHCPv4, ARP, a stub DNS resolver, and miniature UDP/TCP socket layers.
+
+``Router`` implements the testbed gateway: RA daemon, DHCPv6/DHCPv4 servers,
+NAT44, and IPv6 forwarding toward the simulated Internet.
+"""
+
+from repro.stack.config import NetworkConfig, StackConfig
+from repro.stack.host import HostStack
+from repro.stack.router import Router
+
+__all__ = ["NetworkConfig", "StackConfig", "HostStack", "Router"]

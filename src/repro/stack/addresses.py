@@ -1,0 +1,125 @@
+"""IPv6 address lifecycle on a host.
+
+Tracks every address a host configures — how it was formed (SLAAC EUI-64,
+SLAAC temporary, RFC 7217 stable, DHCPv6 lease, self-assigned ULA), whether
+DAD was performed, and whether the address was ever used — the raw material
+for the paper's §5.2.1 addressing analysis.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.ip6 import (
+    AddressScope,
+    classify_address,
+    eui64_interface_id,
+    from_prefix_and_iid,
+    stable_interface_id,
+    temporary_interface_id,
+)
+from repro.net.mac import MacAddress
+
+
+@dataclass
+class AddressRecord:
+    """One configured IPv6 address and its provenance."""
+
+    address: ipaddress.IPv6Address
+    origin: str                      # "slaac" | "dhcpv6" | "ula-self" | "static"
+    iid_kind: str                    # "eui64" | "temporary" | "stable" | "lease"
+    scope: AddressScope = field(init=False)
+    tentative: bool = True
+    dad_performed: bool = False
+    used: bool = False               # ever sourced non-NDP traffic
+
+    def __post_init__(self):
+        self.scope = classify_address(self.address)
+
+
+class AddressManager:
+    """Generates and tracks a host's IPv6 addresses."""
+
+    def __init__(self, mac: MacAddress, rng, stable_secret: bytes = b""):
+        self.mac = mac
+        self._rng = rng
+        self._stable_secret = stable_secret or bytes([mac.packed[i % 6] for i in range(16)])
+        self.records: list[AddressRecord] = []
+        self._dad_counters: dict = {}
+
+    # -- interface-identifier generation -------------------------------------
+
+    def make_iid(self, mode: str, prefix) -> bytes:
+        if mode == "eui64":
+            return eui64_interface_id(self.mac)
+        if mode == "temporary":
+            return temporary_interface_id(self._rng.getrandbits(64).to_bytes(8, "big"))
+        if mode == "stable":
+            counter = self._dad_counters.get(str(prefix), 0)
+            return stable_interface_id(prefix, self.mac, self._stable_secret, counter)
+        raise ValueError(f"unknown IID mode {mode!r}")
+
+    # -- record management ----------------------------------------------------
+
+    def add(self, address, origin: str, iid_kind: str) -> AddressRecord:
+        address = ipaddress.IPv6Address(address)
+        existing = self.get(address)
+        if existing is not None:
+            return existing
+        record = AddressRecord(address, origin, iid_kind)
+        self.records.append(record)
+        return record
+
+    def form(self, prefix, mode: str, origin: str = "slaac") -> AddressRecord:
+        """Form an address on ``prefix`` with an IID of the given mode."""
+        iid = self.make_iid(mode, prefix)
+        return self.add(from_prefix_and_iid(prefix, iid), origin, mode)
+
+    def get(self, address) -> Optional[AddressRecord]:
+        address = ipaddress.IPv6Address(address)
+        for record in self.records:
+            if record.address == address:
+                return record
+        return None
+
+    def remove(self, address) -> None:
+        address = ipaddress.IPv6Address(address)
+        self.records = [r for r in self.records if r.address != address]
+
+    def owns(self, address, include_tentative: bool = False) -> bool:
+        record = self.get(address)
+        if record is None:
+            return False
+        return include_tentative or not record.tentative
+
+    # -- selection -------------------------------------------------------------
+
+    def assigned(self, scope: AddressScope | None = None) -> list[AddressRecord]:
+        return [
+            r
+            for r in self.records
+            if not r.tentative and (scope is None or r.scope == scope)
+        ]
+
+    def best_source(self, dst: ipaddress.IPv6Address) -> Optional[AddressRecord]:
+        """A simplified RFC 6724 source selection: match scope, prefer newest."""
+        dst_scope = classify_address(dst)
+        preference = {
+            AddressScope.LLA: [AddressScope.LLA, AddressScope.ULA, AddressScope.GUA],
+            AddressScope.ULA: [AddressScope.ULA, AddressScope.GUA, AddressScope.LLA],
+            AddressScope.GUA: [AddressScope.GUA, AddressScope.ULA, AddressScope.LLA],
+            AddressScope.MULTICAST: [AddressScope.LLA, AddressScope.ULA, AddressScope.GUA],
+        }.get(dst_scope, [AddressScope.GUA, AddressScope.ULA, AddressScope.LLA])
+        for scope in preference:
+            candidates = self.assigned(scope)
+            if candidates:
+                return candidates[-1]
+        return None
+
+    def note_dad_conflict(self, prefix) -> None:
+        self._dad_counters[str(prefix)] = self._dad_counters.get(str(prefix), 0) + 1
+
+    def flush(self) -> None:
+        self.records.clear()

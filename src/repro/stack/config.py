@@ -1,0 +1,114 @@
+"""Configuration dataclasses for hosts and for the router's network modes.
+
+``NetworkConfig`` mirrors Table 2 of the paper — which protocol families and
+configuration services the router offers in a given experiment.
+``StackConfig`` captures the *capabilities* of one host's network stack; the
+93 device profiles map onto these fields (see ``repro.devices``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """One row of Table 2: what the router offers on the LAN."""
+
+    name: str
+    ipv4: bool
+    slaac_rdnss: bool
+    stateless_dhcpv6: bool
+    stateful_dhcpv6: bool
+
+    @property
+    def ipv6(self) -> bool:
+        return self.slaac_rdnss or self.stateless_dhcpv6 or self.stateful_dhcpv6
+
+    @property
+    def dual_stack(self) -> bool:
+        return self.ipv4 and self.ipv6
+
+
+# The six connectivity experiments of Table 2.
+IPV4_ONLY = NetworkConfig("ipv4-only", True, False, False, False)
+IPV6_ONLY = NetworkConfig("ipv6-only", False, True, True, False)
+IPV6_ONLY_RDNSS = NetworkConfig("ipv6-only-rdnss", False, True, False, False)
+IPV6_ONLY_STATEFUL = NetworkConfig("ipv6-only-stateful", False, True, True, True)
+DUAL_STACK = NetworkConfig("dual-stack", True, True, True, False)
+DUAL_STACK_STATEFUL = NetworkConfig("dual-stack-stateful", True, True, True, True)
+
+ALL_CONFIGS = [IPV4_ONLY, IPV6_ONLY, IPV6_ONLY_RDNSS, IPV6_ONLY_STATEFUL, DUAL_STACK, DUAL_STACK_STATEFUL]
+
+
+@dataclass
+class StackConfig:
+    """The IPv6/IPv4 capabilities of one host's network stack.
+
+    Defaults describe a fully capable modern host (a laptop or phone); device
+    profiles switch features off to model the incomplete implementations the
+    paper observed.
+    """
+
+    # IPv4
+    ipv4_enabled: bool = True
+
+    # IPv6 base
+    ipv6_enabled: bool = True       # emits any IPv6 traffic at all
+    ndp_enabled: bool = True        # participates in Neighbor Discovery
+    forms_addresses: bool = True    # False: multicasts NDP from "::" only
+    ndp_in_dual_stack: bool = True  # False: skips NDP when IPv4 is available
+
+    # SLAAC
+    form_lla: bool = True
+    accept_gua_prefix: bool = True      # autoconfigure from RA PIO
+    gua_in_ipv6_only: bool = True       # False: completes GUA SLAAC only in dual-stack
+    iid_mode: str = "eui64"             # "eui64" | "temporary" | "stable"
+    gua_iid_mode: str = ""              # override for global addresses (e.g.
+                                        # Android: EUI-64 LLA, privacy GUA)
+    temporary_addr_count: int = 1       # total GUAs generated over a run
+    temporary_spread: float = 900.0     # window over which extra GUAs appear
+    temporary_start: float = 250.0      # delay before the first extra GUA
+    lla_rotations: int = 0              # times the LLA is re-generated mid-run
+
+    # ULA (Matter/HomeKit-style local fabric)
+    form_ula: bool = False
+    ula_prefix_seed: str = ""           # device fabric identity
+    ula_addr_count: int = 1
+
+    # DAD (RFC 4862)
+    dad_enabled: bool = True
+    dad_skip_scopes: frozenset = frozenset()   # AddressScope values to skip DAD for
+
+    # DHCPv6
+    dhcpv6_stateless: bool = True       # sends INFORMATION-REQUEST when O=1
+    dhcpv6_stateful: bool = False       # runs SOLICIT/REQUEST when M=1
+    use_dhcpv6_address: bool = False    # actually sources traffic from the lease
+
+    # DNS
+    accept_rdnss: bool = True           # learns resolvers from RA RDNSS
+    dns_over_ipv6: bool = True          # can use an IPv6 resolver transport
+
+    # Misc
+    answer_echo: bool = True            # replies to ICMPv6/ICMPv4 echo
+    open_tcp_ports_v4: tuple = ()
+    open_tcp_ports_v6: tuple = ()
+    open_udp_ports_v4: tuple = ()
+    open_udp_ports_v6: tuple = ()
+
+    def copy(self) -> "StackConfig":
+        from dataclasses import replace
+
+        return replace(self)
+
+
+@dataclass
+class DnsServers:
+    """The resolver addresses a host has learned, per transport family."""
+
+    v4: list = field(default_factory=list)
+    v6: list = field(default_factory=list)
+
+    def clear(self) -> None:
+        self.v4.clear()
+        self.v6.clear()

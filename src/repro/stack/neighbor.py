@@ -1,0 +1,58 @@
+"""Neighbor (NDP) and ARP caches with pending-packet queues."""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.mac import MacAddress
+
+
+@dataclass
+class _Entry:
+    mac: MacAddress | None = None
+    pending: list = field(default_factory=list)
+
+
+class ResolutionCache:
+    """Maps L3 addresses to MACs; queues packets awaiting resolution.
+
+    Shared by the IPv6 neighbor cache and the IPv4 ARP cache — the state
+    machine (queue while unresolved, flush on learn) is identical.
+    """
+
+    def __init__(self, max_pending: int = 512):
+        self._entries: dict = {}
+        self._max_pending = max_pending
+
+    def lookup(self, addr) -> MacAddress | None:
+        entry = self._entries.get(addr)
+        return entry.mac if entry else None
+
+    def learn(self, addr, mac: MacAddress) -> list:
+        """Record a mapping; returns queued packets now deliverable."""
+        entry = self._entries.setdefault(addr, _Entry())
+        entry.mac = MacAddress(mac)
+        pending, entry.pending = entry.pending, []
+        return pending
+
+    def enqueue(self, addr, item) -> bool:
+        """Queue an item pending resolution; returns False if this address
+        already has an in-flight resolution (no new solicitation needed)."""
+        entry = self._entries.setdefault(addr, _Entry())
+        already_resolving = bool(entry.pending)
+        if len(entry.pending) < self._max_pending:
+            entry.pending.append(item)
+        return not already_resolving
+
+    def entries(self) -> dict:
+        """A snapshot of resolved mappings (the router's ``ip -6 neigh``)."""
+        return {addr: e.mac for addr, e in self._entries.items() if e.mac is not None}
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+
+def is_ipv6(addr) -> bool:
+    return isinstance(addr, ipaddress.IPv6Address)

@@ -1,0 +1,25 @@
+"""The Mon(IoT)r-style testbed: lab assembly and the paper's experiments.
+
+``Testbed`` wires the simulator, LAN, router, Internet and the 93 device
+models together. ``run_connectivity_experiment`` executes one row of Table 2
+(reboot, settle, check-ins, functionality test) and returns the capture plus
+out-of-band observations. ``run_full_study`` runs all six configurations and
+both active experiments (§4.3).
+"""
+
+from repro.testbed.lab import Testbed
+from repro.testbed.experiments import ExperimentResult, run_connectivity_experiment
+from repro.testbed.activedns import active_dns_queries
+from repro.testbed.portscan import PortScanner, ScanReport
+from repro.testbed.study import Study, run_full_study
+
+__all__ = [
+    "Testbed",
+    "ExperimentResult",
+    "run_connectivity_experiment",
+    "active_dns_queries",
+    "PortScanner",
+    "ScanReport",
+    "Study",
+    "run_full_study",
+]

@@ -1,0 +1,37 @@
+"""Active DNS AAAA queries (§4.3).
+
+The paper queried AAAA records for every destination domain observed across
+all connectivity experiments, from a machine outside the testbed. Here the
+prober crafts real DNS query messages and runs them against the simulated
+Internet's resolver service, returning the AAAA readiness of each name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.internet import Internet
+from repro.net.dns import DNS, TYPE_AAAA
+
+
+@dataclass(frozen=True)
+class AaaaProbe:
+    """One active AAAA lookup result."""
+
+    name: str
+    has_aaaa: bool
+    rcode: int
+
+
+def active_dns_queries(internet: Internet, names: set[str] | list[str]) -> dict[str, AaaaProbe]:
+    """Probe AAAA for every name; returns name -> probe result."""
+    results: dict[str, AaaaProbe] = {}
+    for txid, name in enumerate(sorted(set(names))):
+        query = DNS.query(txid & 0xFFFF, name, TYPE_AAAA)
+        response = internet._dns_service(None, DNS.decode(query.encode()))
+        if response is None:
+            results[name] = AaaaProbe(name, False, 2)
+            continue
+        decoded = DNS.decode(response.encode())
+        results[name] = AaaaProbe(name, bool(decoded.answers_of_type(TYPE_AAAA)), decoded.rcode)
+    return results

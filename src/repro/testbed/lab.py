@@ -1,0 +1,84 @@
+"""Lab assembly: one LAN, one router, the Internet, and the device fleet."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cloud import DnsRegistry, Internet
+from repro.devices import IoTDevice, build_inventory
+from repro.devices.inventory import control_phones
+from repro.devices.profile import DeviceProfile
+from repro.net.mac import MacAddress
+from repro.net.pcap import PcapRecord
+from repro.sim import EthernetLink, Simulator
+from repro.stack import Router
+
+
+class Testbed:
+    """The simulated Mon(IoT)r lab.
+
+    ``devices`` holds the 93 analyzed IoT devices; ``controls`` the two
+    phones used to validate each configuration (excluded from analysis,
+    exactly as in the paper).
+    """
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(
+        self,
+        seed: int = 42,
+        profiles: Optional[list[DeviceProfile]] = None,
+        include_controls: bool = True,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.link = EthernetLink(self.sim)
+        self.registry = DnsRegistry()
+        self.internet = Internet(self.sim, self.registry)
+        self.router = Router(self.sim, self.link, self.internet)
+        self.profiles = profiles if profiles is not None else build_inventory()
+        self.devices = [
+            IoTDevice(self.sim, self.link, profile, self.internet, profile.mac) for profile in self.profiles
+        ]
+        self.controls = []
+        if include_controls:
+            self.controls = [
+                IoTDevice(self.sim, self.link, profile, self.internet, profile.mac)
+                for profile in control_phones()
+            ]
+        self.internet.materialize_registry()
+
+    # -- capture taps ---------------------------------------------------------
+
+    def start_capture(self) -> list[PcapRecord]:
+        """Attach a tcpdump-style tap; returns the (live) record list."""
+        records: list[PcapRecord] = []
+
+        def tap(timestamp: float, frame: bytes) -> None:
+            records.append(PcapRecord(timestamp, frame))
+
+        self.link.add_tap(tap)
+        self._active_tap = tap
+        return records
+
+    def stop_capture(self) -> None:
+        tap = getattr(self, "_active_tap", None)
+        if tap is not None:
+            self.link.remove_tap(tap)
+            self._active_tap = None
+
+    # -- identity -------------------------------------------------------------
+
+    def mac_table(self) -> dict[MacAddress, str]:
+        """The lab inventory: MAC -> device name (the paper's ground truth
+        mapping used to attribute captured traffic to devices)."""
+        return {device.mac: device.name for device in self.devices}
+
+    def device(self, name: str) -> IoTDevice:
+        for candidate in self.devices + self.controls:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+    @property
+    def everyone(self) -> list[IoTDevice]:
+        return self.devices + self.controls

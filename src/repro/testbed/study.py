@@ -1,0 +1,95 @@
+"""The full study driver: six connectivity experiments + active experiments.
+
+``run_full_study`` reproduces the paper's two-week measurement campaign on
+the simulated testbed and returns a :class:`Study` holding every capture and
+out-of-band observation. The :mod:`repro.core` pipeline consumes a Study to
+regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.net.pcap import PcapWriter
+from repro.stack.config import ALL_CONFIGS, DUAL_STACK, NetworkConfig
+from repro.testbed.activedns import AaaaProbe, active_dns_queries
+from repro.testbed.experiments import ExperimentResult, run_connectivity_experiment
+from repro.testbed.lab import Testbed
+from repro.testbed.portscan import PortScanner, ScanReport
+
+
+@dataclass
+class Study:
+    """Everything a study run produced."""
+
+    testbed: Testbed
+    experiments: dict[str, ExperimentResult] = field(default_factory=dict)
+    active_dns: dict[str, AaaaProbe] = field(default_factory=dict)
+    port_scan: Optional[ScanReport] = None
+
+    @property
+    def mac_table(self):
+        return self.testbed.mac_table()
+
+    def experiment(self, name: str) -> ExperimentResult:
+        return self.experiments[name]
+
+    def export_pcaps(self, directory) -> list[Path]:
+        """Write each experiment's capture as a standard pcap file."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for name, result in self.experiments.items():
+            path = directory / f"{name}.pcap"
+            with open(path, "wb") as stream:
+                PcapWriter(stream).write_all(result.records)
+            paths.append(path)
+        return paths
+
+    def total_frames(self) -> int:
+        return sum(len(result.records) for result in self.experiments.values())
+
+
+def observed_domains(study: Study) -> set[str]:
+    """Domains seen in DNS queries or TLS SNI across all experiments —
+    the input set for the active AAAA probe (§4.3)."""
+    from repro.core.capture import CaptureIndex
+
+    names: set[str] = set()
+    for result in study.experiments.values():
+        index = CaptureIndex(result.records, study.mac_table)
+        names.update(q.name for q in index.dns_queries)
+        names.update(flow.sni for flow in index.tcp_flows if flow.sni)
+    return {n for n in names if not n.endswith(".lan") and not n.endswith(".local")}
+
+
+def run_full_study(
+    seed: int = 42,
+    *,
+    configs: Optional[list[NetworkConfig]] = None,
+    checkins: int = 2,
+    with_port_scan: bool = True,
+    with_active_dns: bool = True,
+    testbed: Optional[Testbed] = None,
+) -> Study:
+    """Run the complete measurement campaign."""
+    testbed = testbed or Testbed(seed=seed)
+    study = Study(testbed=testbed)
+    for config in configs or ALL_CONFIGS:
+        study.experiments[config.name] = run_connectivity_experiment(testbed, config, checkins=checkins)
+
+    if with_port_scan:
+        # The scans ran against the dual-stack deployment (latest addresses
+        # gathered from the router's neighbor table).
+        testbed.router.configure(DUAL_STACK)
+        for device in testbed.everyone:
+            device.prepare(DUAL_STACK)
+        testbed.sim.run(60.0)
+        study.port_scan = PortScanner(testbed).run()
+
+    if with_active_dns:
+        study.active_dns = active_dns_queries(testbed.internet, observed_domains(study))
+    return study

@@ -1,0 +1,72 @@
+"""Unit tests for flag derivation and grouping helpers (no simulation)."""
+
+from repro.core.analysis import DeviceFlags, union_all
+from repro.core.meta import metadata_from_profiles
+from repro.core.privacy import classify_party, sld_of
+from repro.devices import build_inventory
+
+
+class TestDeviceFlags:
+    def test_union_is_elementwise_or(self):
+        a = DeviceFlags(ndp=True, addr=True)
+        b = DeviceFlags(addr=True, gua=True, functional=True)
+        merged = a.union(b)
+        assert merged.ndp and merged.addr and merged.gua and merged.functional
+        assert not merged.dns_v6
+
+    def test_union_does_not_mutate_inputs(self):
+        a = DeviceFlags(ndp=True)
+        b = DeviceFlags(gua=True)
+        a.union(b)
+        assert not a.gua and not b.ndp
+
+    def test_union_all_over_experiment_maps(self):
+        first = {"x": DeviceFlags(ndp=True), "y": DeviceFlags()}
+        second = {"x": DeviceFlags(gua=True), "y": DeviceFlags(functional=True)}
+        merged = union_all([first, second])
+        assert merged["x"].ndp and merged["x"].gua
+        assert merged["y"].functional and not merged["y"].ndp
+
+
+class TestMetadata:
+    def test_metadata_is_identity_only(self):
+        metadata = metadata_from_profiles(build_inventory())
+        assert len(metadata) == 93
+        sample = metadata["Samsung Fridge"]
+        assert sample.category.value == "Appliance"
+        assert sample.manufacturer == "Samsung/SmartThings"
+        assert sample.os == "Tizen"
+        # identity only: no behavioural fields exposed
+        assert not hasattr(sample, "portfolio")
+        assert not hasattr(sample, "v6only")
+
+    def test_macs_unique(self):
+        metadata = metadata_from_profiles(build_inventory())
+        macs = {m.mac for m in metadata.values()}
+        assert len(macs) == 93
+
+
+class TestPartyClassifier:
+    def test_sld_extraction(self):
+        assert sld_of("a.b.example.com") == "example.com"
+        assert sld_of("example.com") == "example.com"
+        assert sld_of("bare") == "bare"
+        assert sld_of("x.example.com.") == "example.com"
+
+    def test_tracker_classified_third(self):
+        assert classify_party("dev1.app-measurement.example") == "third"
+        assert classify_party("x.omtrdc.example") == "third"
+
+    def test_cdn_classified_support(self):
+        assert classify_party("dev1.fastedge-cdn.example") == "support"
+        assert classify_party("pool.cloudpool-ntp.example") == "support"
+
+    def test_everything_else_first(self):
+        assert classify_party("api1.nest-camera.google.example") == "first"
+
+    def test_lists_shared_with_workload(self):
+        from repro.cloud.parties import SUPPORT_SLDS, TRACKER_SLDS
+        from repro.core.privacy import KNOWN_SUPPORT_SLDS, KNOWN_TRACKER_SLDS
+
+        assert set(TRACKER_SLDS) == KNOWN_TRACKER_SLDS
+        assert set(SUPPORT_SLDS) == KNOWN_SUPPORT_SLDS

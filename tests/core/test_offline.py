@@ -1,0 +1,55 @@
+"""Offline (pcap-file) analysis must equal live in-memory analysis."""
+
+import pytest
+
+from repro.core.analysis import StudyAnalysis
+from repro.core.meta import metadata_from_profiles
+from repro.core.offline import load_study_from_pcaps
+from repro.core.readiness import table3
+from repro.devices import build_inventory
+from repro.testbed import Testbed
+from repro.testbed.study import run_full_study
+
+SUBSET = ["Samsung Fridge", "Google Home Mini", "Echo Dot 3rd gen", "Wemo Plug"]
+
+
+@pytest.fixture(scope="module")
+def mini_study():
+    profiles = [p for p in build_inventory() if p.name in SUBSET]
+    return run_full_study(
+        seed=13,
+        testbed=Testbed(seed=13, profiles=profiles),
+        with_port_scan=False,
+        with_active_dns=False,
+    )
+
+
+def test_pcap_round_trip_preserves_analysis(mini_study, tmp_path):
+    mini_study.export_pcaps(tmp_path)
+    functionality = {name: result.functionality for name, result in mini_study.experiments.items()}
+    profiles = mini_study.testbed.profiles
+    metadata = metadata_from_profiles(profiles)
+
+    reloaded = load_study_from_pcaps(tmp_path, mini_study.mac_table, functionality, profiles)
+    live = StudyAnalysis(mini_study, metadata)
+    offline = StudyAnalysis(reloaded, metadata)
+    assert table3(offline) == table3(live)
+
+
+def test_reloaded_frame_counts_match(mini_study, tmp_path):
+    mini_study.export_pcaps(tmp_path)
+    reloaded = load_study_from_pcaps(tmp_path, mini_study.mac_table)
+    for name, result in mini_study.experiments.items():
+        assert len(reloaded.experiments[name].records) == len(result.records)
+
+
+def test_missing_directory_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_study_from_pcaps(tmp_path / "empty", {})
+
+
+def test_unknown_experiment_name_rejected(mini_study, tmp_path):
+    mini_study.export_pcaps(tmp_path)
+    (tmp_path / "mystery.pcap").write_bytes((tmp_path / "ipv4-only.pcap").read_bytes())
+    with pytest.raises(ValueError):
+        load_study_from_pcaps(tmp_path, mini_study.mac_table)

@@ -1,0 +1,172 @@
+"""Unit + property tests for the portfolio generator invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.portfolio import PortfolioError, build_portfolio
+from repro.devices.profile import (
+    Category,
+    DeviceProfile,
+    Party,
+    Phase,
+    PortfolioSpec,
+)
+
+FULL = Phase(ndp=True, addr=True, gua=True, dns_v6=True, aaaa_v4=True, data_v6=True)
+
+
+def make_profile(spec: PortfolioSpec, v6only: Phase = FULL, dual: Phase = FULL) -> DeviceProfile:
+    return DeviceProfile(
+        name="Test Device",
+        category=Category.CAMERA,
+        manufacturer="TestCo",
+        v6only=v6only,
+        dual=dual,
+        portfolio=spec,
+    )
+
+
+class TestInvariants:
+    def check(self, spec: PortfolioSpec, v6only: Phase = FULL, dual: Phase = FULL):
+        plans = build_portfolio(make_profile(spec, v6only, dual))
+        assert len(plans) == spec.total
+        assert len({p.name for p in plans}) == spec.total
+        aaaa = [p for p in plans if p.queries_aaaa]
+        assert len(aaaa) == spec.aaaa_names
+        assert sum(1 for p in aaaa if p.has_aaaa) == spec.aaaa_resp_names
+        essentials = [p for p in plans if p.essential]
+        assert len(essentials) == spec.essential + spec.essential_a_only
+        a_only = [p for p in plans if p.a_only_in_v6]
+        assert len(a_only) == spec.a_only_v6_names
+        return plans
+
+    def test_minimal_spec(self):
+        self.check(PortfolioSpec(total=4, essential=2, aaaa_names=2, aaaa_resp_names=0))
+
+    def test_transitions_spec(self):
+        spec = PortfolioSpec(
+            total=40,
+            essential=2,
+            essential_aaaa=True,
+            aaaa_names=25,
+            aaaa_resp_names=20,
+            aaaa_v4only_names=5,
+            v4_to_v6_partial=4,
+            v4_to_v6_full=3,
+            v6_to_v4_partial=6,
+            v6_to_v4_full=2,
+            v4only_with_aaaa=3,
+            v6_steady=3,
+            a_only_v6_names=4,
+        )
+        plans = self.check(spec)
+        partial_46 = [p for p in plans if p.in_v4only and p.data_v4_in_dual and p.data_v6_in_dual]
+        assert len(partial_46) >= spec.v4_to_v6_partial
+        full_46 = [p for p in plans if p.in_v4only and not p.data_v4_in_dual and p.data_v6_in_dual]
+        assert len(full_46) == spec.v4_to_v6_full
+
+    def test_literal_relays(self):
+        spec = PortfolioSpec(total=10, essential=1, aaaa_names=1, v6_literal_names=3, v6_literal_with_v4=1)
+        plans = self.check(spec)
+        literals = [p for p in plans if p.v6_literal]
+        assert len(literals) == 4
+        assert sum(1 for p in literals if p.has_a) == 1
+
+    def test_party_placement(self):
+        spec = PortfolioSpec(total=20, essential=1, aaaa_names=1, third=4, support=2, tracking_v4only=3)
+        plans = self.check(spec)
+        assert sum(1 for p in plans if p.party is Party.THIRD) == 4
+        assert sum(1 for p in plans if p.party is Party.SUPPORT) == 2
+
+    def test_overcommitted_total_rejected(self):
+        spec = PortfolioSpec(total=2, essential=2, aaaa_names=2, third=3, support=3)
+        with pytest.raises(PortfolioError):
+            build_portfolio(make_profile(spec))
+
+    def test_insufficient_aaaa_budget_rejected(self):
+        spec = PortfolioSpec(total=30, essential=2, aaaa_names=1, v6_steady=5)
+        with pytest.raises(PortfolioError):
+            build_portfolio(make_profile(spec))
+
+    def test_essential_a_only_carries_aaaa_record(self):
+        """The a2.tuyaus.com irony: essential, AAAA exists, never queried."""
+        spec = PortfolioSpec(
+            total=8, essential=1, essential_a_only=1, aaaa_names=1, a_only_v6_names=3
+        )
+        plans = self.check(spec)
+        ironic = [p for p in plans if p.essential and p.a_only_in_v6]
+        assert len(ironic) == 1
+        assert ironic[0].has_aaaa and not ironic[0].queries_aaaa
+
+    def test_no_ipv6_device_builds_v4_only_portfolio(self):
+        spec = PortfolioSpec(total=5, essential=2, aaaa_names=0)
+        plans = build_portfolio(make_profile(spec, v6only=Phase(), dual=Phase()))
+        assert all(not p.queries_aaaa for p in plans)
+        assert all(not p.data_v6_in_dual for p in plans)
+
+    def test_volume_split_matches_fraction(self):
+        spec = PortfolioSpec(
+            total=20, essential=2, essential_aaaa=True, aaaa_names=12, aaaa_resp_names=12,
+            v6_steady=10, volume=10_000, v6_volume_fraction=0.4,
+        )
+        from repro.devices.portfolio import VOLUME_SCALE
+
+        plans = build_portfolio(make_profile(spec))
+        v6_total = sum(p.bytes_v6 for p in plans)
+        v4_total = sum(p.bytes_v4 for p in plans)
+        assert v6_total == int(10_000 * VOLUME_SCALE * 0.4)
+        assert v4_total + v6_total == 10_000 * VOLUME_SCALE
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ess=st.integers(1, 3),
+    essA=st.booleans(),
+    t43p=st.integers(0, 5),
+    t43f=st.integers(0, 3),
+    t34p=st.integers(0, 5),
+    t34f=st.integers(0, 3),
+    steady=st.integers(0, 6),
+    extra_resp=st.integers(0, 4),
+    extra_unresolved=st.integers(0, 4),
+    aonly=st.integers(0, 4),
+    v4a=st.integers(0, 3),
+    fill=st.integers(0, 10),
+)
+def test_generator_satisfies_any_consistent_spec(
+    ess, essA, t43p, t43f, t34p, t34f, steady, extra_resp, extra_unresolved, aonly, v4a, fill
+):
+    """Property: any internally consistent spec builds and hits its counts."""
+    struct_aaaa = ess + max(t43p, t34p) + t43f + t34f + steady
+    struct_resp = (ess if essA else 0) + max(t43p, t34p) + t43f + t34f + steady
+    spec = PortfolioSpec(
+        total=ess
+        + max(t43p, t34p)
+        + t43f
+        + t34f
+        + steady
+        + v4a
+        + extra_resp
+        + extra_unresolved
+        + aonly
+        + 2  # third + support defaults
+        + fill,
+        essential=ess,
+        essential_aaaa=essA,
+        aaaa_names=struct_aaaa + extra_resp + extra_unresolved,
+        aaaa_resp_names=struct_resp + extra_resp,
+        aaaa_v4only_names=min(2, struct_aaaa),
+        a_only_v6_names=aonly,
+        v4_to_v6_partial=t43p,
+        v4_to_v6_full=t43f,
+        v6_to_v4_partial=t34p,
+        v6_to_v4_full=t34f,
+        v4only_with_aaaa=v4a,
+        v6_steady=steady,
+    )
+    plans = build_portfolio(make_profile(spec))
+    assert len(plans) == spec.total
+    assert sum(1 for p in plans if p.queries_aaaa) == spec.aaaa_names
+    assert sum(1 for p in plans if p.queries_aaaa and p.has_aaaa) == spec.aaaa_resp_names
+    assert len({p.name for p in plans}) == len(plans)

@@ -1,0 +1,115 @@
+"""Round-trip tests for DHCPv4 and DHCPv6 codecs."""
+
+import ipaddress
+
+import pytest
+
+from repro.net import MacAddress
+from repro.net.dhcpv4 import ACK, DHCPv4, DISCOVER, OFFER, OP_REPLY, REQUEST
+from repro.net.dhcpv6 import (
+    DHCPv6,
+    IAAddress,
+    MSG_ADVERTISE,
+    MSG_INFORMATION_REQUEST,
+    MSG_REPLY,
+    MSG_SOLICIT,
+    OPT_DNS_SERVERS,
+    duid_ll,
+)
+from repro.net.packet import DecodeError
+
+MAC = MacAddress("02:00:00:00:00:42")
+
+
+class TestDHCPv4:
+    def test_discover_round_trip(self):
+        decoded = DHCPv4.decode(DHCPv4.discover(0xDEADBEEF, MAC).encode())
+        assert decoded.msg_type == DISCOVER
+        assert decoded.xid == 0xDEADBEEF
+        assert decoded.client_mac == MAC
+
+    def test_offer_round_trip(self):
+        offer = DHCPv4(
+            OP_REPLY,
+            1,
+            MAC,
+            msg_type=OFFER,
+            yiaddr="192.168.10.50",
+            server_id="192.168.10.1",
+            subnet_mask="255.255.255.0",
+            router="192.168.10.1",
+            dns_servers=["8.8.8.8", "8.8.4.4"],
+            lease_time=3600,
+        )
+        decoded = DHCPv4.decode(offer.encode())
+        assert decoded.yiaddr == ipaddress.IPv4Address("192.168.10.50")
+        assert decoded.subnet_mask == ipaddress.IPv4Address("255.255.255.0")
+        assert decoded.router == ipaddress.IPv4Address("192.168.10.1")
+        assert decoded.dns_servers == [ipaddress.IPv4Address("8.8.8.8"), ipaddress.IPv4Address("8.8.4.4")]
+        assert decoded.lease_time == 3600
+
+    def test_request_and_ack(self):
+        request = DHCPv4.request(2, MAC, "192.168.10.50", "192.168.10.1")
+        decoded = DHCPv4.decode(request.encode())
+        assert decoded.msg_type == REQUEST
+        assert decoded.requested_ip == ipaddress.IPv4Address("192.168.10.50")
+        assert decoded.server_id == ipaddress.IPv4Address("192.168.10.1")
+        ack = DHCPv4(OP_REPLY, 2, MAC, msg_type=ACK, yiaddr="192.168.10.50", lease_time=600)
+        assert DHCPv4.decode(ack.encode()).msg_type == ACK
+
+    def test_bad_cookie_rejected(self):
+        with pytest.raises(DecodeError):
+            DHCPv4.decode(b"\x01" + b"\x00" * 300)
+
+
+class TestDHCPv6:
+    def test_duid_ll(self):
+        assert duid_ll(MAC) == b"\x00\x03\x00\x01" + MAC.packed
+
+    def test_solicit_round_trip(self):
+        solicit = DHCPv6.solicit(0xABCDEF, duid_ll(MAC), iaid=7)
+        decoded = DHCPv6.decode(solicit.encode())
+        assert decoded.msg_type == MSG_SOLICIT
+        assert decoded.transaction_id == 0xABCDEF
+        assert decoded.client_duid == duid_ll(MAC)
+        assert decoded.has_ia_na
+        assert decoded.iaid == 7
+        assert OPT_DNS_SERVERS in decoded.requested_options
+
+    def test_advertise_with_lease(self):
+        advertise = DHCPv6(
+            MSG_ADVERTISE,
+            0x123456,
+            client_duid=duid_ll(MAC),
+            server_duid=b"\x00\x03\x00\x01" + b"\x02" * 6,
+            iaid=7,
+            ia_addresses=[IAAddress("2001:db8:100::50", 3600, 7200)],
+            dns_servers=["2001:4860:4860::8888"],
+        )
+        decoded = DHCPv6.decode(advertise.encode())
+        assert decoded.msg_type == MSG_ADVERTISE
+        assert decoded.ia_addresses[0].address == ipaddress.IPv6Address("2001:db8:100::50")
+        assert decoded.ia_addresses[0].valid_lifetime == 7200
+        assert decoded.dns_servers == [ipaddress.IPv6Address("2001:4860:4860::8888")]
+
+    def test_information_request_is_stateless(self):
+        decoded = DHCPv6.decode(DHCPv6.information_request(0x42, duid_ll(MAC)).encode())
+        assert decoded.msg_type == MSG_INFORMATION_REQUEST
+        assert not decoded.has_ia_na
+        assert OPT_DNS_SERVERS in decoded.requested_options
+
+    def test_stateless_reply_round_trip(self):
+        reply = DHCPv6(
+            MSG_REPLY,
+            0x42,
+            client_duid=duid_ll(MAC),
+            server_duid=b"\x00\x03\x00\x01" + b"\x01" * 6,
+            dns_servers=["2001:4860:4860::8888", "2001:4860:4860::8844"],
+        )
+        decoded = DHCPv6.decode(reply.encode())
+        assert len(decoded.dns_servers) == 2
+        assert not decoded.ia_addresses
+
+    def test_unknown_message_type_rejected(self):
+        with pytest.raises(DecodeError):
+            DHCPv6.decode(bytes([99, 0, 0, 1]))

@@ -1,0 +1,136 @@
+"""Unit + property tests for the IPv6 address taxonomy (RFC 4291 et al.)."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import MacAddress
+from repro.net.ip6 import (
+    AddressScope,
+    classify_address,
+    eui64_interface_id,
+    from_prefix_and_iid,
+    interface_id,
+    is_eui64_interface_id,
+    link_local_from_mac,
+    mac_from_eui64,
+    multicast_mac,
+    solicited_node_multicast,
+    stable_interface_id,
+    temporary_interface_id,
+)
+
+macs = st.binary(min_size=6, max_size=6).map(MacAddress)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "addr,scope",
+        [
+            ("2001:db8::1", AddressScope.GUA),
+            ("2600:1700:abcd::5", AddressScope.GUA),
+            ("fd00:1234::1", AddressScope.ULA),
+            ("fc01::1", AddressScope.ULA),
+            ("fe80::1", AddressScope.LLA),
+            ("ff02::1", AddressScope.MULTICAST),
+            ("ff05::1:3", AddressScope.MULTICAST),
+            ("::", AddressScope.UNSPECIFIED),
+            ("::1", AddressScope.LOOPBACK),
+        ],
+    )
+    def test_scopes(self, addr, scope):
+        assert classify_address(addr) == scope
+
+    def test_documentation_prefix_is_gua(self):
+        # 2001:db8::/32 is not "global" per the IANA registry, but the GUA
+        # bucket the paper uses is the 2000::/3 allocation; the simulated ISP
+        # hands out documentation space, and it must classify as GUA.
+        assert classify_address("2001:db8::1") == AddressScope.GUA
+
+    def test_accepts_packed_bytes(self):
+        assert classify_address(b"\xfe\x80" + b"\x00" * 14) == AddressScope.LLA
+
+
+class TestEUI64:
+    def test_known_vector(self):
+        # RFC 4291 appendix A example: MAC 34:56:78:9a:bc:de
+        iid = eui64_interface_id(MacAddress("34:56:78:9a:bc:de"))
+        assert iid == bytes.fromhex("365678fffe9abcde")
+
+    def test_marker_detected(self):
+        assert is_eui64_interface_id(bytes.fromhex("365678fffe9abcde"))
+        assert not is_eui64_interface_id(bytes.fromhex("3656780000009abc"))
+
+    def test_mac_recovery(self):
+        mac = MacAddress("18:b4:30:01:02:03")
+        addr = from_prefix_and_iid("2001:db8::", eui64_interface_id(mac))
+        assert mac_from_eui64(addr) == mac
+
+    def test_non_eui64_returns_none(self):
+        assert mac_from_eui64("2001:db8::1") is None
+
+    @given(macs)
+    def test_round_trip_property(self, mac):
+        addr = from_prefix_and_iid("2001:db8:1::", eui64_interface_id(mac))
+        assert mac_from_eui64(addr) == mac
+
+    @given(macs)
+    def test_universal_local_bit_flipped(self, mac):
+        iid = eui64_interface_id(mac)
+        assert (iid[0] ^ mac.packed[0]) == 0x02
+
+
+class TestIIDGeneration:
+    def test_stable_iid_deterministic(self):
+        mac = MacAddress("aa:bb:cc:dd:ee:01")
+        one = stable_interface_id("2001:db8::", mac, b"secret")
+        two = stable_interface_id("2001:db8::", mac, b"secret")
+        assert one == two
+
+    def test_stable_iid_changes_across_prefixes(self):
+        mac = MacAddress("aa:bb:cc:dd:ee:01")
+        assert stable_interface_id("2001:db8:1::", mac, b"s") != stable_interface_id("2001:db8:2::", mac, b"s")
+
+    def test_stable_iid_never_looks_like_eui64(self):
+        for i in range(64):
+            mac = MacAddress(i)
+            iid = stable_interface_id("2001:db8::", mac, b"s", dad_counter=i)
+            assert not is_eui64_interface_id(iid)
+
+    @given(st.binary(min_size=8, max_size=8))
+    def test_temporary_iid_avoids_eui64_marker(self, blob):
+        iid = temporary_interface_id(blob)
+        assert not is_eui64_interface_id(iid)
+        assert not iid[0] & 0x02
+
+    def test_temporary_iid_requires_8_bytes(self):
+        with pytest.raises(ValueError):
+            temporary_interface_id(b"\x00" * 7)
+
+
+class TestMulticastHelpers:
+    def test_solicited_node(self):
+        group = solicited_node_multicast("2001:db8::0102:0304")
+        assert group == ipaddress.IPv6Address("ff02::1:ff02:304")
+
+    def test_multicast_mac_for_all_nodes(self):
+        assert str(multicast_mac("ff02::1")) == "33:33:00:00:00:01"
+
+    def test_multicast_mac_rejects_unicast(self):
+        with pytest.raises(ValueError):
+            multicast_mac("2001:db8::1")
+
+    @given(macs)
+    def test_link_local_is_lla(self, mac):
+        assert classify_address(link_local_from_mac(mac)) == AddressScope.LLA
+
+
+def test_interface_id_low64():
+    assert interface_id("2001:db8::dead:beef") == bytes.fromhex("00000000deadbeef")
+
+
+def test_from_prefix_and_iid_validates_length():
+    with pytest.raises(ValueError):
+        from_prefix_and_iid("2001:db8::", b"\x00" * 7)

@@ -1,0 +1,70 @@
+"""Unit tests for MAC addresses."""
+
+import pytest
+
+from repro.net import MacAddress
+
+
+def test_parse_colon_string():
+    mac = MacAddress("aa:bb:cc:dd:ee:ff")
+    assert mac.packed == bytes.fromhex("aabbccddeeff")
+
+
+def test_parse_dash_string():
+    assert MacAddress("AA-BB-CC-00-11-22") == MacAddress("aa:bb:cc:00:11:22")
+
+
+def test_str_round_trip():
+    mac = MacAddress("02:42:ac:11:00:02")
+    assert MacAddress(str(mac)) == mac
+
+
+def test_int_round_trip():
+    mac = MacAddress("00:11:22:33:44:55")
+    assert MacAddress(int(mac)) == mac
+
+
+def test_from_bytes_requires_six():
+    with pytest.raises(ValueError):
+        MacAddress(b"\x00" * 5)
+
+
+def test_invalid_string_rejected():
+    with pytest.raises(ValueError):
+        MacAddress("not-a-mac")
+
+
+def test_int_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        MacAddress(1 << 48)
+
+
+def test_oui():
+    assert MacAddress("18:b4:30:aa:bb:cc").oui == bytes.fromhex("18b430")
+
+
+def test_broadcast():
+    assert MacAddress.BROADCAST.is_broadcast
+    assert MacAddress.BROADCAST.is_multicast
+
+
+def test_multicast_bit():
+    assert MacAddress("01:00:5e:00:00:01").is_multicast
+    assert not MacAddress("00:11:22:33:44:55").is_multicast
+
+
+def test_locally_administered_bit():
+    assert MacAddress("02:00:00:00:00:01").is_locally_administered
+    assert not MacAddress("00:11:22:33:44:55").is_locally_administered
+
+
+def test_ipv6_multicast_mapping():
+    mac = MacAddress.ipv6_multicast(bytes.fromhex("000000fb"))
+    assert str(mac) == "33:33:00:00:00:fb"
+
+
+def test_hashable_and_sortable():
+    a = MacAddress("00:00:00:00:00:01")
+    b = MacAddress("00:00:00:00:00:02")
+    assert len({a, b, MacAddress("00:00:00:00:00:01")}) == 2
+    assert a < b

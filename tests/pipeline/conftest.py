@@ -1,0 +1,21 @@
+"""Session-scoped full-study fixtures.
+
+Running the complete measurement campaign (six connectivity experiments on
+93 devices, active DNS, port scans) takes a couple of minutes; every
+pipeline test shares one run.
+"""
+
+import pytest
+
+from repro.core.analysis import StudyAnalysis
+from repro.testbed.study import run_full_study
+
+
+@pytest.fixture(scope="session")
+def study():
+    return run_full_study(seed=42)
+
+
+@pytest.fixture(scope="session")
+def analysis(study):
+    return StudyAnalysis(study)

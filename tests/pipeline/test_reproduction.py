@@ -1,0 +1,269 @@
+"""End-to-end reproduction tests: captures -> the paper's numbers.
+
+Every assertion here runs against the *analysis pipeline's output* over the
+simulated study. Paper-exact cells are asserted exactly; cells where the
+paper is internally inconsistent (documented in DESIGN.md §4) are asserted
+at our chosen value.
+"""
+
+import pytest
+
+from repro.core import addressing, dns_analysis, readiness, traffic
+from repro.core.destinations import DestinationAnalysis
+from repro.core.meta import CATEGORY_ORDER
+from repro.core.privacy import eui64_exposure, port_diffs, tracking_domains
+
+
+def cat_list(row):
+    return [row[c] for c in CATEGORY_ORDER]
+
+
+class TestTable3:
+    """Table 3 / Figure 2: every cell exact."""
+
+    @pytest.fixture(scope="class")
+    def table(self, analysis):
+        return readiness.table3(analysis)
+
+    @pytest.mark.parametrize(
+        "label,expected,total",
+        [
+            ("Total # of Device", [7, 18, 8, 12, 6, 26, 16], 93),
+            ("No IPv6", [4, 13, 2, 1, 4, 10, 0], 34),
+            ("IPv6 NDP Traffic", [3, 5, 6, 11, 2, 16, 16], 59),
+            ("NDP Traffic No Addr", [1, 0, 0, 0, 2, 5, 0], 8),
+            ("IPv6 Address", [2, 5, 6, 11, 0, 11, 16], 51),
+            ("Global Unique Address", [1, 2, 6, 5, 0, 3, 10], 27),
+            ("IPv6 Address but No IPv6 DNS", [1, 3, 0, 8, 0, 11, 6], 29),
+            ("IPv6 DNS (AAAA Req)", [1, 2, 6, 3, 0, 0, 10], 22),
+            ("AAAA DNS Response", [1, 2, 6, 0, 0, 0, 10], 19),
+            ("Internet TCP/UDP Data Comm.", [1, 2, 5, 2, 0, 0, 9], 19),
+            ("IPv6 Data but Not Func", [1, 2, 2, 2, 0, 0, 4], 11),
+            ("Functional over IPv6-only", [0, 0, 3, 0, 0, 0, 5], 8),
+        ],
+    )
+    def test_row(self, table, label, expected, total):
+        assert cat_list(table[label]) == expected
+        assert table[label]["Total"] == total
+
+    def test_functional_device_identities(self, analysis):
+        functional = sorted(d for d, f in analysis.ipv6_only_flags.items() if f.functional)
+        assert functional == sorted(
+            [
+                "Apple TV",
+                "Google TV",
+                "TiVo Stream",
+                "Meta Portal Mini",
+                "Google Home Mini",
+                "Google Nest Mini",
+                "Nest Hub",
+                "Nest Hub Max",
+            ]
+        )
+
+    def test_all_devices_functional_in_ipv4_only(self, study):
+        functionality = study.experiment("ipv4-only").functionality
+        assert len(functionality) == 93
+        assert all(functionality.values())
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def table(self, analysis):
+        return readiness.table4(analysis)
+
+    @pytest.mark.parametrize(
+        "label,expected",
+        [
+            ("IPv6 NDP Traffic", [0, 0, 0, -1, 0, 0, 0]),
+            ("IPv6 Address", [0, 0, 0, -1, 1, 2, 0]),
+            ("Global Unique Address", [0, 0, 0, -1, 1, 1, 2]),
+            ("AAAA DNS Request", [0, 5, 1, 3, 0, 1, 5]),
+            ("AAAA DNS Response", [0, 3, 1, 2, 0, 1, 5]),
+            ("Internet TCP/UDP Data Comm.", [0, 0, 1, 0, 0, 0, 2]),
+        ],
+    )
+    def test_row(self, table, label, expected):
+        assert cat_list(table[label]) == expected
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def table(self, analysis):
+        return readiness.table5(analysis)
+
+    @pytest.mark.parametrize(
+        "label,expected,total",
+        [
+            ("IPv6 Addr", [2, 5, 6, 11, 1, 13, 16], 54),
+            ("Stateful DHCPv6", [1, 0, 2, 2, 0, 6, 1], 12),
+            ("GUA", [1, 2, 6, 5, 1, 4, 12], 31),
+            ("ULA", [1, 2, 2, 5, 1, 5, 7], 23),
+            # the paper's Table 5 row sums to 50 but its prose says 51
+            ("LLA", [2, 5, 6, 10, 0, 12, 16], 51),
+            ("EUI-64 Addr", [1, 2, 3, 7, 0, 8, 10], 31),
+            ("DNS Over IPv6", [1, 2, 6, 3, 0, 0, 10], 22),
+            ("A-only Request in IPv6", [1, 1, 5, 3, 0, 0, 9], 19),
+            ("AAAA Request (v4 or v6)", [1, 7, 7, 6, 0, 1, 15], 37),
+            ("IPv4-only AAAA Request", [1, 7, 5, 5, 0, 1, 14], 33),
+            ("AAAA Response", [1, 5, 7, 2, 0, 1, 15], 31),
+            ("AAAA Req No AAAA Res", [1, 7, 6, 6, 0, 1, 13], 34),
+            ("Stateless DHCPv6", [1, 0, 3, 3, 0, 6, 3], 16),
+            ("IPv6 TCP/UDP Trans", [1, 2, 6, 6, 0, 3, 11], 29),
+            ("Internet Trans", [1, 2, 6, 3, 0, 0, 11], 23),
+            ("Local Trans", [1, 2, 5, 5, 0, 3, 5], 21),
+        ],
+    )
+    def test_row(self, table, label, expected, total):
+        assert cat_list(table[label]) == expected
+        assert table[label]["Total"] == total
+
+
+class TestTable6:
+    def test_address_counts(self, analysis):
+        rows = addressing.table6_address_counts(analysis)
+        assert cat_list(rows["# of GUA Addr"]) == [12, 74, 55, 119, 1, 5, 190]
+        assert rows["# of GUA Addr"]["Total"] == 456
+        assert cat_list(rows["# of ULA Addr"]) == [4, 26, 6, 20, 1, 7, 105]
+        assert rows["# of ULA Addr"]["Total"] == 169
+        assert rows["# of LLA Addr"]["Total"] == 59
+        assert rows["# of IPv6 Addr"]["Total"] == 456 + 169 + 59
+
+    def test_dns_counts(self, analysis):
+        rows = dns_analysis.table6_dns_counts(analysis)
+        assert cat_list(rows["# of AAAA DNS Req"]) == [52, 49, 390, 67, 0, 8, 511]
+        assert rows["# of AAAA DNS Req"]["Total"] == 1077
+        assert cat_list(rows["# of A-only Req in IPv6"]) == [12, 1, 16, 13, 0, 0, 72]
+        assert rows["# of A-only Req in IPv6"]["Total"] == 114
+        assert rows["# of IPv4-only AAAA Req"]["Total"] == 334
+        assert rows["# of AAAA DNS Res"]["Total"] == 531
+
+    def test_volume_fraction_shape(self, analysis):
+        fractions = traffic.table6_volume_fractions(analysis)
+        # Paper: TV 34.4%, Speaker 23.3%, overall 22.0%, others ~0-3%.
+        from repro.devices.profile import Category
+
+        assert fractions[Category.TV] > fractions[Category.SPEAKER] > fractions[Category.CAMERA]
+        assert fractions[Category.HOME_AUTO] == 0.0
+        assert fractions[Category.HEALTH] == 0.0
+        assert 15.0 < fractions["Total"] < 35.0
+
+
+class TestTable9:
+    @pytest.fixture(scope="class")
+    def table(self, analysis):
+        return DestinationAnalysis(analysis).table9()
+
+    def test_totals(self, table):
+        assert table["# of Dest. Domain"]["Total"] == 2083
+        assert abs(table["# IPv6 Dest. Domain"]["Total"] - 769) <= 3
+        # Paper: 1563. Matching it exactly would require v4 traffic on
+        # v6-steady domains, which would break the (exact) transition
+        # numerators below — see EXPERIMENTS.md. 1539/1563 = 98.5%.
+        assert abs(table["# IPv4 Dest. Domain"]["Total"] - 1563) <= 30
+
+    def test_transitions(self, table):
+        assert cat_list(table["# IPv4 dest. partially extending to IPv6"]) == [1, 15, 29, 1, 0, 0, 78]
+        assert table["# IPv4 dest. partially extending to IPv6"]["Total"] == 124
+        assert cat_list(table["# IPv4 dest. fully switching to IPv6"]) == [0, 0, 20, 0, 0, 0, 17]
+        assert table["# IPv4 dest. fully switching to IPv6"]["Total"] == 37
+        assert table["# IPv6 dest. partially extending to IPv4"]["Total"] == 138
+        assert cat_list(table["# IPv6 dest. partially extending to IPv4"]) == [2, 7, 40, 0, 0, 0, 89]
+        assert table["# IPv6 dest. fully switching to IPv4"]["Total"] == 26
+
+    def test_v4_keepers_with_aaaa(self, table):
+        # Paper: 32 (+1 from the a2.tuyaus.com-style essential, DESIGN.md §4)
+        assert 30 <= table["# IPv4-only Dest. w/ AAAA"]["Total"] <= 35
+
+
+class TestTable7:
+    def test_readiness_gap(self, analysis):
+        table = DestinationAnalysis(analysis).table7()
+        functional = table["functional/Total"]
+        non_functional = table["non-functional/Total"]
+        # Paper: 73.2% vs 31.1% — a large readiness gap.
+        assert functional["pct"] > 60.0
+        assert non_functional["pct"] < 40.0
+        assert functional["pct"] - non_functional["pct"] > 25.0
+        assert functional["devices"] == 8
+        assert non_functional["devices"] == 85
+
+
+class TestFigures:
+    def test_figure3_concentration(self, analysis):
+        data_addr = addressing.figure3_address_cdf(analysis)
+        data_q = dns_analysis.figure3_query_cdf(analysis)
+        top10_addr = sum(c for _, c in sorted(data_addr, key=lambda x: -x[1])[:10])
+        total_addr = sum(c for _, c in data_addr)
+        # Paper: 10 devices account for ~80% of GUAs; CDF heavily skewed.
+        assert top10_addr / total_addr > 0.6
+        top10_q = sum(c for _, c in sorted(data_q, key=lambda x: -x[1])[:10])
+        total_q = sum(c for _, c in data_q)
+        assert 0.5 < top10_q / total_q < 0.9  # paper: ~70%
+
+    def test_figure4_shape(self, analysis):
+        bars = traffic.figure4(analysis)
+        by_name = {name: frac for name, frac, _ in bars}
+        over80 = [name for name, frac, _ in bars if frac > 0.8]
+        under20 = [name for name, frac, _ in bars if frac < 0.2]
+        # Paper: three devices above 80%, more than half below 20%.
+        assert sorted(over80) == sorted(["TiVo Stream", "Nest Camera", "Meta Portal Mini"])
+        assert len(under20) >= len(bars) / 2 - 1
+        assert by_name["Nest Camera"] > 0.8  # non-functional yet v6-heavy
+        assert by_name["Nest Hub"] < 0.2     # functional yet v4-heavy
+
+    def test_figure5_funnel(self, analysis):
+        report = eui64_exposure(analysis)
+        assert len(report.assigned) == 15
+        assert len(report.used) == 8
+        # Paper: 5 data users + 3 DNS-only. Our SmartLife Hub's hardcoded
+        # IPv6 NTP fires before its first rotation, so it exposes its EUI-64
+        # address in data too (6 data users, 2 DNS-only) — see EXPERIMENTS.md.
+        assert len(report.used_for_data) in (5, 6)
+        assert {"Aeotec Hub", "SmartThings Hub"} <= report.dns_only
+        assert {"Samsung Fridge", "Nest Camera", "Nest Doorbell", "Fire TV", "Vizio TV"} <= report.used_for_data
+        # exposure parties: mostly first, a few support/third (paper: 24/1/2)
+        assert report.data_domains.get("third") and report.data_domains.get("support")
+        assert len(report.dns_query_domains.get("third", ())) >= 2
+
+
+class TestPrivacySecurity:
+    def test_dad_compliance(self, analysis):
+        report = addressing.dad_compliance(analysis)
+        assert report.addresses_without_dad == {"GUA": 20, "ULA": 7, "LLA": 8}
+        never = {d for d in report.devices_never_dad}
+        assert {"Aqara Hub", "Aqara Hub M2", "Consciot Matter Bulb", "Govee Matter Strip"} <= never
+
+    def test_lla_rotators(self, analysis):
+        assert addressing.lla_rotators(analysis) == sorted(
+            ["Samsung Fridge", "Samsung TV", "HomePod Mini", "Apple TV"]
+        )
+
+    def test_port_scan_asymmetries(self, analysis):
+        report = port_diffs(analysis)
+        assert len(report.v4_only_open) == 5 or len(report.v4_only_open) == 6
+        assert report.v6_only_open == {"Samsung Fridge": [37993, 46525, 46757]}
+
+    def test_tracking_reduction(self, analysis):
+        report = tracking_domains(analysis)
+        assert len(report.v4_only_domains) > 50
+        assert len(report.third_party_slds) >= 5
+        for sld in report.third_party_slds:
+            assert sld.endswith(".example")
+
+    def test_stateful_lease_users(self, analysis):
+        # §5.2.1: 12 devices support stateful DHCPv6; 4 use the lease.
+        union = analysis.union_flags
+        assert sum(1 for f in union.values() if f.stateful_dhcpv6) == 12
+
+
+class TestActiveExperiments:
+    def test_active_dns_covers_observed_domains(self, study):
+        assert len(study.active_dns) > 1500
+        assert all(probe.name == name for name, probe in study.active_dns.items())
+
+    def test_port_scan_discovered_most_v6_devices(self, study):
+        # every device with an IPv6 address should appear in the neighbor
+        # table after the all-nodes ping
+        assert len(study.port_scan.scanned_v6) >= 50
+        assert len(study.port_scan.scanned_v4) == 93  # control phones excluded

@@ -1,0 +1,42 @@
+"""Unit tests for the text rendering layer."""
+
+from repro.reports.render import format_table
+from repro.reports.tables import render_table2
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table("T", ["name", "n"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # numeric column right-aligned
+        assert lines[-1].endswith("22")
+        assert lines[-2].endswith(" 1")
+
+    def test_bool_rendering(self):
+        text = format_table("T", ["x", "flag"], [["a", True], ["b", False]])
+        assert "Y" in text and "-" in text
+
+    def test_float_rendering(self):
+        text = format_table("T", ["x", "pct"], [["a", 12.345]])
+        assert "12.3" in text
+
+    def test_all_rows_equal_width(self):
+        text = format_table("Tbl", ["aaa", "b"], [["x", 1], ["yyyyy", 100]])
+        body = text.splitlines()[2:]
+        assert len({len(line) for line in body}) == 1
+
+
+class TestTable2:
+    def test_matches_paper_configuration_matrix(self):
+        text = render_table2()
+        lines = {line.split()[0]: line for line in text.splitlines() if line.startswith(("ipv", "dual"))}
+        assert len(lines) == 6
+        # IPv4-only: IPv4 on, everything IPv6 off
+        assert lines["ipv4-only"].split()[1:] == ["Y", "-", "-", "-"]
+        # IPv6-only baseline: SLAAC+RDNSS and stateless DHCPv6
+        assert lines["ipv6-only"].split()[1:] == ["-", "Y", "Y", "-"]
+        assert lines["ipv6-only-rdnss"].split()[1:] == ["-", "Y", "-", "-"]
+        assert lines["ipv6-only-stateful"].split()[1:] == ["-", "Y", "Y", "Y"]
+        assert lines["dual-stack"].split()[1:] == ["Y", "Y", "Y", "-"]
+        assert lines["dual-stack-stateful"].split()[1:] == ["Y", "Y", "Y", "Y"]

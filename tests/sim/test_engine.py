@@ -1,0 +1,124 @@
+"""Unit + property tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abcde":
+            sim.schedule(1.0, fired.append, tag)
+        sim.run(2.0)
+        assert fired == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run_until(7.0)
+        assert seen == [5.0]
+        assert sim.now == 7.0
+
+    def test_run_until_does_not_fire_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "later")
+        sim.run_until(4.9)
+        assert fired == []
+        sim.run_until(5.0)
+        assert fired == ["later"]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, fired.append, "inner")
+
+        sim.schedule(1.0, outer)
+        sim.run(3.0)
+        assert fired == ["outer", "inner"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run(2.0)
+        assert fired == []
+        assert sim.pending == 0
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.run(10.0)
+        fired = []
+        sim.schedule_at(15.0, fired.append, "x")
+        sim.run_until(15.0)
+        assert fired == ["x"]
+
+    def test_run_all_drains_queue(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100.0, fired.append, 1)
+        sim.schedule(200.0, fired.append, 2)
+        sim.run_all()
+        assert fired == [1, 2]
+        assert sim.now == 200.0
+
+    def test_run_all_detects_runaway(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        with pytest.raises(RuntimeError):
+            sim.run_all(limit=100)
+
+
+class TestDeterminism:
+    def test_same_seed_same_rng_streams(self):
+        a, b = Simulator(seed=5), Simulator(seed=5)
+        assert a.rng_for("x").random() == b.rng_for("x").random()
+
+    def test_named_streams_are_independent(self):
+        sim = Simulator(seed=5)
+        first = sim.rng_for("host/a")
+        second = sim.rng_for("host/b")
+        assert [first.random() for _ in range(4)] != [second.random() for _ in range(4)]
+
+    def test_stream_does_not_depend_on_creation_order(self):
+        one = Simulator(seed=9)
+        one.rng_for("noise")
+        value_after_noise = one.rng_for("target").random()
+        two = Simulator(seed=9)
+        value_direct = two.rng_for("target").random()
+        assert value_after_noise == value_direct
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=30))
+    def test_arbitrary_delays_fire_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run_all()
+        assert fired == sorted(fired)

@@ -1,0 +1,117 @@
+"""Unit tests for the switched Ethernet link and NIC filtering."""
+
+from repro.net import Ethernet, MacAddress, Raw
+from repro.net.ip6 import multicast_mac
+from repro.sim import EthernetLink, Nic, Node, Simulator
+
+
+class Sink(Node):
+    def __init__(self, sim, name, mac, link, promiscuous=False):
+        super().__init__(sim, name)
+        self.received = []
+        self.nic = self.add_nic(Nic(self, MacAddress(mac), link, promiscuous=promiscuous))
+
+    def handle_frame(self, nic, frame):
+        self.received.append(frame)
+
+
+def build(promiscuous_c=False):
+    sim = Simulator()
+    link = EthernetLink(sim)
+    a = Sink(sim, "a", "02:00:00:00:00:0a", link)
+    b = Sink(sim, "b", "02:00:00:00:00:0b", link)
+    c = Sink(sim, "c", "02:00:00:00:00:0c", link, promiscuous=promiscuous_c)
+    return sim, link, a, b, c
+
+
+def frame(dst, src, payload=b"hi"):
+    return Ethernet(MacAddress(dst), MacAddress(src), 0x1234, Raw(payload))
+
+
+class TestDelivery:
+    def test_unicast_reaches_only_owner(self):
+        sim, link, a, b, c = build()
+        a.nic.send(frame(b.nic.mac, a.nic.mac))
+        sim.run(1.0)
+        assert len(b.received) == 1
+        assert not a.received and not c.received
+
+    def test_broadcast_floods(self):
+        sim, link, a, b, c = build()
+        a.nic.send(frame(MacAddress.BROADCAST, a.nic.mac))
+        sim.run(1.0)
+        assert len(b.received) == 1 and len(c.received) == 1
+        assert not a.received  # no self-delivery
+
+    def test_promiscuous_nic_sees_unicast(self):
+        sim, link, a, b, c = build(promiscuous_c=True)
+        a.nic.send(frame(b.nic.mac, a.nic.mac))
+        sim.run(1.0)
+        assert len(b.received) == 1
+        assert len(c.received) == 1
+
+    def test_multicast_requires_group_membership(self):
+        sim, link, a, b, c = build()
+        group = multicast_mac("ff02::fb")
+        a.nic.send(frame(group, a.nic.mac))
+        sim.run(1.0)
+        assert not b.received
+        b.nic.join_multicast(group)
+        a.nic.send(frame(group, a.nic.mac))
+        sim.run(1.0)
+        assert len(b.received) == 1
+
+    def test_all_nodes_group_joined_by_default(self):
+        sim, link, a, b, c = build()
+        a.nic.send(frame(multicast_mac("ff02::1"), a.nic.mac))
+        sim.run(1.0)
+        assert len(b.received) == 1 and len(c.received) == 1
+
+    def test_leave_multicast(self):
+        sim, link, a, b, c = build()
+        group = multicast_mac("ff02::2")
+        b.nic.join_multicast(group)
+        b.nic.leave_multicast(group)
+        a.nic.send(frame(group, a.nic.mac))
+        sim.run(1.0)
+        assert not b.received
+
+
+class TestTaps:
+    def test_tap_sees_every_frame(self):
+        sim, link, a, b, c = build()
+        captured = []
+        link.add_tap(lambda ts, data: captured.append(data))
+        a.nic.send(frame(b.nic.mac, a.nic.mac))
+        a.nic.send(frame(MacAddress.BROADCAST, a.nic.mac))
+        sim.run(1.0)
+        assert len(captured) == 2
+
+    def test_tap_removal(self):
+        sim, link, a, b, c = build()
+        captured = []
+        tap = lambda ts, data: captured.append(data)
+        link.add_tap(tap)
+        link.remove_tap(tap)
+        a.nic.send(frame(b.nic.mac, a.nic.mac))
+        sim.run(1.0)
+        assert not captured
+
+    def test_tap_timestamp_is_transmit_time(self):
+        sim, link, a, b, c = build()
+        stamps = []
+        link.add_tap(lambda ts, data: stamps.append(ts))
+        sim.run(5.0)
+        a.nic.send(frame(b.nic.mac, a.nic.mac))
+        assert stamps == [5.0]
+
+    def test_latency_delays_delivery(self):
+        sim = Simulator()
+        link = EthernetLink(sim, latency=0.5)
+        a = Sink(sim, "a", "02:00:00:00:00:0a", link)
+        b = Sink(sim, "b", "02:00:00:00:00:0b", link)
+        a.nic.send(frame(b.nic.mac, a.nic.mac))
+        sim.run_until(0.4)
+        assert not b.received
+        sim.run_until(0.6)
+        assert len(b.received) == 1

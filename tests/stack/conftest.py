@@ -1,0 +1,56 @@
+"""Shared fixtures: a minimal lab (sim, LAN, router, Internet)."""
+
+import pytest
+
+from repro.cloud import DnsRegistry, Internet
+from repro.net.mac import MacAddress
+from repro.sim import EthernetLink, Simulator
+from repro.stack import HostStack, Router, StackConfig
+from repro.stack.config import (
+    DUAL_STACK,
+    DUAL_STACK_STATEFUL,
+    IPV4_ONLY,
+    IPV6_ONLY,
+    IPV6_ONLY_RDNSS,
+    IPV6_ONLY_STATEFUL,
+)
+
+
+class MiniLab:
+    """A simulator, one LAN, a router, the Internet, and helper factories."""
+
+    def __init__(self, seed: int = 7):
+        self.sim = Simulator(seed=seed)
+        self.link = EthernetLink(self.sim)
+        self.registry = DnsRegistry()
+        self.internet = Internet(self.sim, self.registry)
+        self.router = Router(self.sim, self.link, self.internet)
+        self._next_mac = 0x10
+
+    def host(self, name: str = "host", config: StackConfig | None = None) -> HostStack:
+        mac = MacAddress(bytes([0x02, 0xAA, 0, 0, 0, self._next_mac]))
+        self._next_mac += 1
+        return HostStack(self.sim, name, mac, self.link, config)
+
+    def start(self, config, *hosts, settle: float = 0.0):
+        self.router.configure(config)
+        self.internet.materialize_registry()
+        for host in hosts:
+            host.boot()
+        if settle:
+            self.sim.run(settle)
+
+
+@pytest.fixture
+def lab():
+    return MiniLab()
+
+
+CONFIGS = {
+    "ipv4-only": IPV4_ONLY,
+    "ipv6-only": IPV6_ONLY,
+    "ipv6-only-rdnss": IPV6_ONLY_RDNSS,
+    "ipv6-only-stateful": IPV6_ONLY_STATEFUL,
+    "dual-stack": DUAL_STACK,
+    "dual-stack-stateful": DUAL_STACK_STATEFUL,
+}

@@ -1,0 +1,150 @@
+"""Integration tests: DNS resolution and TCP flows device <-> cloud."""
+
+import ipaddress
+
+import pytest
+
+from repro.net.dns import TYPE_A, TYPE_AAAA
+from repro.net.packet import Raw
+from repro.net.tls import TLSClientHello
+from repro.stack import StackConfig
+from repro.stack.config import DUAL_STACK, IPV6_ONLY
+
+SETTLE = 30.0
+
+
+def resolve_sync(lab, host, name, qtype, family):
+    """Drive the sim until the resolver callback fires; return the message."""
+    box = {}
+    host.resolve(name, qtype, family, lambda msg: box.setdefault("msg", msg))
+    lab.sim.run(10.0)
+    return box.get("msg")
+
+
+class TestDnsThroughRouter:
+    def test_aaaa_over_ipv6(self, lab):
+        lab.registry.register("media.vendor.example", v4=True, v6=True)
+        host = lab.host()
+        lab.start(IPV6_ONLY, host, settle=SETTLE)
+        response = resolve_sync(lab, host, "media.vendor.example", TYPE_AAAA, family=6)
+        assert response is not None
+        answers = response.answers_of_type(TYPE_AAAA)
+        assert len(answers) == 1
+        assert answers[0].rdata in ipaddress.IPv6Network("2600:9000::/32")
+
+    def test_aaaa_negative_answer_for_v4_only_domain(self, lab):
+        lab.registry.register("api.vendor.example", v4=True, v6=False)
+        host = lab.host()
+        lab.start(IPV6_ONLY, host, settle=SETTLE)
+        response = resolve_sync(lab, host, "api.vendor.example", TYPE_AAAA, family=6)
+        assert response is not None
+        assert not response.answers
+        assert response.authorities  # SOA negative answer
+
+    def test_nxdomain(self, lab):
+        host = lab.host()
+        lab.start(IPV6_ONLY, host, settle=SETTLE)
+        response = resolve_sync(lab, host, "does-not-exist.example", TYPE_AAAA, family=6)
+        assert response is not None
+        assert response.rcode == 3
+
+    def test_a_over_ipv4_through_nat(self, lab):
+        lab.registry.register("api.vendor.example", v4=True)
+        host = lab.host()
+        lab.start(DUAL_STACK, host, settle=SETTLE)
+        response = resolve_sync(lab, host, "api.vendor.example", TYPE_A, family=4)
+        assert response is not None
+        assert response.answers_of_type(TYPE_A)
+
+    def test_aaaa_over_ipv4_transport(self, lab):
+        """The §5.2.2 quirk: AAAA queries carried over the IPv4 resolver."""
+        lab.registry.register("cdn.vendor.example", v4=True, v6=True)
+        host = lab.host()
+        lab.start(DUAL_STACK, host, settle=SETTLE)
+        response = resolve_sync(lab, host, "cdn.vendor.example", TYPE_AAAA, family=4)
+        assert response is not None
+        assert response.answers_of_type(TYPE_AAAA)
+
+    def test_resolver_missing_family_fails_fast(self, lab):
+        host = lab.host()
+        lab.start(IPV6_ONLY, host, settle=SETTLE)
+        assert resolve_sync(lab, host, "x.example", TYPE_A, family=4) is None
+
+
+class TestTcpToCloud:
+    def _connect(self, lab, host, addr, requests):
+        box = {}
+        host.tcp_request(
+            addr,
+            443,
+            requests,
+            on_complete=lambda responses: box.setdefault("ok", responses),
+            on_fail=lambda reason: box.setdefault("fail", reason),
+        )
+        lab.sim.run(20.0)
+        return box
+
+    def test_tls_exchange_over_ipv6(self, lab):
+        record = lab.registry.register("cloud.vendor.example", v4=True, v6=True)
+        host = lab.host()
+        lab.start(IPV6_ONLY, host, settle=SETTLE)
+        hello = TLSClientHello("cloud.vendor.example").encode()
+        box = self._connect(lab, host, record.aaaa_records[0], [hello, b"\x17" + b"A" * 400])
+        assert "ok" in box, box
+        assert len(box["ok"]) == 2
+        assert box["ok"][0].startswith(b"\x16\x03\x03")  # ServerHello
+
+    def test_tls_exchange_over_ipv4_nat(self, lab):
+        record = lab.registry.register("cloud.vendor.example", v4=True)
+        host = lab.host()
+        lab.start(DUAL_STACK, host, settle=SETTLE)
+        hello = TLSClientHello("cloud.vendor.example").encode()
+        box = self._connect(lab, host, record.a_records[0], [hello])
+        assert "ok" in box, box
+
+    def test_unreachable_v6_times_out(self, lab):
+        record = lab.registry.register("flaky.vendor.example", v4=True, v6=True, v6_reachable=False)
+        host = lab.host()
+        lab.start(IPV6_ONLY, host, settle=SETTLE)
+        box = self._connect(lab, host, record.aaaa_records[0], [b"x"])
+        assert box.get("fail") == "timeout"
+
+    def test_no_source_address_fails(self, lab):
+        record = lab.registry.register("cloud.vendor.example", v6=True)
+        host = lab.host(config=StackConfig(ipv6_enabled=False))
+        lab.start(IPV6_ONLY, host, settle=SETTLE)
+        box = self._connect(lab, host, record.aaaa_records[0], [b"x"])
+        assert box.get("fail") == "no-ipv6-source"
+
+    def test_two_hosts_simultaneously(self, lab):
+        record = lab.registry.register("cloud.vendor.example", v4=True, v6=True)
+        a, b = lab.host("a"), lab.host("b")
+        lab.start(IPV6_ONLY, a, b, settle=SETTLE)
+        box_a = {}
+        box_b = {}
+        addr = record.aaaa_records[0]
+        a.tcp_request(addr, 443, [b"req-a"], lambda r: box_a.setdefault("ok", r), lambda r: box_a.setdefault("fail", r))
+        b.tcp_request(addr, 443, [b"req-b"], lambda r: box_b.setdefault("ok", r), lambda r: box_b.setdefault("fail", r))
+        lab.sim.run(20.0)
+        assert "ok" in box_a and "ok" in box_b
+
+
+class TestLocalIPv6:
+    def test_udp_between_two_lan_hosts_over_lla(self, lab):
+        received = []
+        a, b = lab.host("a"), lab.host("b")
+        lab.start(IPV6_ONLY, a, b, settle=SETTLE)
+        b.udp_bind(5540, lambda src, sport, payload: received.append(payload.encode()))
+        from repro.net.ip6 import AddressScope
+
+        b_lla = b.addrs.assigned(AddressScope.LLA)[0].address
+        a.udp_send(b_lla, 5540, Raw(b"matter-frame"))
+        lab.sim.run(5.0)
+        assert received == [b"matter-frame"]
+
+    def test_multicast_udp_visible_to_peers(self, lab):
+        """Matter/HomeKit-style link-local multicast service traffic."""
+        a = lab.host("hub")
+        lab.start(IPV6_ONLY, a, settle=SETTLE)
+        sent = a.udp_send("ff02::fb", 5353, Raw(b"mdns-ish"))
+        assert sent

@@ -1,0 +1,168 @@
+"""Router behaviour per Table-2 configuration: RA flags, DHCP modes, NAT."""
+
+import ipaddress
+
+import pytest
+
+from repro.net.icmpv6 import ICMPv6, RDNSSOption
+from repro.stack import StackConfig
+from repro.stack.config import (
+    DUAL_STACK,
+    DUAL_STACK_STATEFUL,
+    IPV4_ONLY,
+    IPV6_ONLY,
+    IPV6_ONLY_RDNSS,
+    IPV6_ONLY_STATEFUL,
+)
+
+SETTLE = 30.0
+
+
+class RaRecorder:
+    def __init__(self, host):
+        self.messages = []
+        host.on_ra.append(self.messages.append)
+
+
+class TestRouterAdvertisements:
+    def test_baseline_flags(self, lab):
+        host = lab.host()
+        recorder = RaRecorder(host)
+        lab.start(IPV6_ONLY, host, settle=SETTLE)
+        assert recorder.messages
+        ra = recorder.messages[0]
+        assert not ra.managed          # no stateful addressing
+        assert ra.other_config         # stateless DHCPv6 offered
+        assert ra.option(RDNSSOption) is not None
+        assert ra.prefixes()[0].prefix == lab.router.lan_v6_prefix.network_address
+
+    def test_rdnss_only_flags(self, lab):
+        host = lab.host()
+        recorder = RaRecorder(host)
+        lab.start(IPV6_ONLY_RDNSS, host, settle=SETTLE)
+        ra = recorder.messages[0]
+        assert not ra.managed and not ra.other_config
+        assert ra.option(RDNSSOption) is not None
+
+    def test_stateful_flags(self, lab):
+        host = lab.host(config=StackConfig(dhcpv6_stateful=True))
+        recorder = RaRecorder(host)
+        lab.start(IPV6_ONLY_STATEFUL, host, settle=SETTLE)
+        assert recorder.messages[0].managed
+
+    def test_no_ra_in_ipv4_only(self, lab):
+        host = lab.host()
+        recorder = RaRecorder(host)
+        lab.start(IPV4_ONLY, host, settle=SETTLE)
+        assert not recorder.messages
+
+    def test_solicited_ra(self, lab):
+        """An RS must trigger an RA well before the periodic interval."""
+        host = lab.host()
+        recorder = RaRecorder(host)
+        lab.router.configure(IPV6_ONLY)
+        lab.sim.run(40.0)  # consume initial periodic RA
+        recorder.messages.clear()
+        host.boot()
+        lab.sim.run(10.0)  # next periodic RA would be ~20s away
+        assert recorder.messages
+
+
+class TestDhcpv6Server:
+    def test_no_reply_when_stateless_disabled(self, lab):
+        host = lab.host()
+        lab.start(IPV6_ONLY_RDNSS, host, settle=SETTLE)
+        # the host sent an INFORMATION-REQUEST only if O=1; with O=0 it must
+        # not have DHCPv6-learned servers, yet RDNSS still works
+        assert lab.internet.dns_v6 in host.dns_servers.v6
+
+    def test_stateful_leases_are_distinct(self, lab):
+        config = StackConfig(dhcpv6_stateful=True, use_dhcpv6_address=True)
+        a = lab.host("a", config=StackConfig(dhcpv6_stateful=True, use_dhcpv6_address=True))
+        b = lab.host("b", config=StackConfig(dhcpv6_stateful=True, use_dhcpv6_address=True))
+        lab.start(DUAL_STACK_STATEFUL, a, b, settle=SETTLE)
+        assert a.dhcpv6_lease is not None and b.dhcpv6_lease is not None
+        assert a.dhcpv6_lease != b.dhcpv6_lease
+
+    def test_lease_stable_per_duid(self, lab):
+        config = StackConfig(dhcpv6_stateful=True)
+        host = lab.host(config=config)
+        lab.start(IPV6_ONLY_STATEFUL, host, settle=SETTLE)
+        first = host.dhcpv6_lease
+        host.boot()
+        lab.sim.run(SETTLE)
+        assert host.dhcpv6_lease == first
+
+
+class TestNat44:
+    def test_outbound_translation_hides_private_address(self, lab):
+        lab.registry.register("svc.example", v4=True)
+        host = lab.host()
+        lab.start(DUAL_STACK, host, settle=SETTLE)
+        seen = {}
+        original_deliver = lab.internet.deliver_v4
+
+        def spy(packet):
+            seen.setdefault("src", packet.src)
+            original_deliver(packet)
+
+        lab.internet.deliver_v4 = spy
+        box = {}
+        record = lab.registry.lookup("svc.example")
+        lab.internet.materialize_registry()
+        host.tcp_request(record.a_records[0], 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r))
+        lab.sim.run(10.0)
+        assert "ok" in box
+        assert seen["src"] == lab.router.wan_v4_address
+
+    def test_two_hosts_share_public_address(self, lab):
+        lab.registry.register("svc.example", v4=True)
+        a, b = lab.host("a"), lab.host("b")
+        lab.start(DUAL_STACK, a, b, settle=SETTLE)
+        record = lab.registry.lookup("svc.example")
+        results = {}
+        for name, host in (("a", a), ("b", b)):
+            host.tcp_request(
+                record.a_records[0], 443, [name.encode()],
+                lambda r, n=name: results.setdefault(n, r), lambda r: None,
+            )
+        lab.sim.run(10.0)
+        assert set(results) == {"a", "b"}
+
+
+class TestNeighborTable:
+    def test_ping_all_nodes_populates_table(self, lab):
+        host = lab.host()
+        lab.start(IPV6_ONLY, host, settle=SETTLE)
+        lab.router.neighbors.flush()
+        lab.router.ping_all_nodes()
+        lab.sim.run(5.0)
+        macs = set(lab.router.neighbor_table().values())
+        assert host.mac in macs
+
+    def test_lease_table_maps_mac_to_ip(self, lab):
+        host = lab.host()
+        lab.start(DUAL_STACK, host, settle=SETTLE)
+        assert lab.router.v4_lease_table()[host.mac] == host.ipv4_address
+
+
+class TestForwarding:
+    def test_hop_limit_decremented_on_forward(self, lab):
+        lab.registry.register("svc6.example", v6=True)
+        host = lab.host()
+        lab.start(IPV6_ONLY, host, settle=SETTLE)
+        seen = {}
+        original = lab.internet.deliver_v6
+
+        def spy(packet):
+            seen.setdefault("hop", packet.hop_limit)
+            original(packet)
+
+        lab.internet.deliver_v6 = spy
+        record = lab.registry.lookup("svc6.example")
+        lab.internet.materialize_registry()
+        box = {}
+        host.tcp_request(record.aaaa_records[0], 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r))
+        lab.sim.run(10.0)
+        assert "ok" in box
+        assert seen["hop"] == 63  # host sent 64, router decremented

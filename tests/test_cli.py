@@ -1,0 +1,25 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_devices_command(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("\n") == 93
+    assert "Samsung Fridge" in out and "Speaker" in out
+
+
+def test_unknown_table_rejected():
+    with pytest.raises(SystemExit):
+        main(["tables", "11"])  # Table 11 is firmware versions; not generated
+
+
+def test_help_lists_commands(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    for command in ("study", "tables", "pcap", "devices"):
+        assert command in out

@@ -1,0 +1,117 @@
+"""Testbed-level tests on a small device subset (fast enough for CI)."""
+
+import io
+
+import pytest
+
+from repro.core.capture import CaptureIndex
+from repro.devices import build_inventory
+from repro.net.pcap import PcapReader
+from repro.stack.config import ALL_CONFIGS, DUAL_STACK, IPV4_ONLY, IPV6_ONLY
+from repro.testbed import PortScanner, Testbed, run_connectivity_experiment
+from repro.testbed.activedns import active_dns_queries
+from repro.testbed.study import Study, observed_domains, run_full_study
+
+SUBSET = [
+    "Samsung Fridge",
+    "Google Home Mini",
+    "Apple TV",
+    "IKEA Gateway",
+    "Echo Dot 3rd gen",
+    "Wemo Plug",
+    "Philips Hue Hub",
+]
+
+
+@pytest.fixture(scope="module")
+def mini_study():
+    profiles = [p for p in build_inventory() if p.name in SUBSET]
+    return run_full_study(seed=5, testbed=Testbed(seed=5, profiles=profiles))
+
+
+class TestExperimentRunner:
+    def test_all_six_configs_run(self, mini_study):
+        assert set(mini_study.experiments) == {c.name for c in ALL_CONFIGS}
+
+    def test_functionality_results_complete(self, mini_study):
+        for result in mini_study.experiments.values():
+            assert set(result.functionality) == set(SUBSET)
+
+    def test_ipv4_only_everything_works(self, mini_study):
+        assert all(mini_study.experiment("ipv4-only").functionality.values())
+
+    def test_ipv6_only_selective_failure(self, mini_study):
+        functionality = mini_study.experiment("ipv6-only").functionality
+        assert functionality["Google Home Mini"]
+        assert functionality["Apple TV"]
+        assert not functionality["Samsung Fridge"]
+        assert not functionality["Wemo Plug"]
+
+    def test_capture_nonempty_and_chronological(self, mini_study):
+        for result in mini_study.experiments.values():
+            assert result.records
+            stamps = [r.timestamp for r in result.records]
+            assert stamps == sorted(stamps)
+
+    def test_experiments_do_not_leak_across_runs(self, mini_study):
+        """An IPv4-only capture must contain no routable-IPv6 traffic."""
+        index = CaptureIndex(mini_study.experiment("ipv4-only").records, mini_study.mac_table)
+        assert not index.internet_data_devices(6)
+        assert not [q for q in index.dns_queries if q.family == 6]
+
+
+class TestPcapExport:
+    def test_exported_pcap_is_parseable(self, mini_study, tmp_path):
+        paths = mini_study.export_pcaps(tmp_path)
+        assert len(paths) == 6
+        with open(paths[0], "rb") as stream:
+            reader = PcapReader(stream)
+            records = list(reader)
+        assert len(records) == len(mini_study.experiment(paths[0].stem).records)
+
+
+class TestActiveDns:
+    def test_observed_domains_probed(self, mini_study):
+        names = observed_domains(mini_study)
+        assert names
+        assert names <= set(mini_study.active_dns)
+
+    def test_probe_consistency_with_registry(self, mini_study):
+        registry = mini_study.testbed.registry
+        for name, probe in mini_study.active_dns.items():
+            record = registry.lookup(name)
+            expected = bool(record and record.has_aaaa)
+            assert probe.has_aaaa == expected, name
+
+
+class TestPortScanner:
+    def test_scan_results(self, mini_study):
+        scan = mini_study.port_scan
+        assert scan is not None
+        # Fridge: symmetric 8080 plus the three v6-only ports
+        assert 8080 in scan.tcp_v4.get("Samsung Fridge", set())
+        assert {8080, 37993, 46525, 46757} <= scan.tcp_v6.get("Samsung Fridge", set())
+        assert scan.v6_only_tcp("Samsung Fridge") == {37993, 46525, 46757}
+        # Hue: port 80 only over IPv4
+        assert scan.v4_only_tcp("Philips Hue Hub") == {80}
+
+    def test_no_phantom_open_ports(self, mini_study):
+        scan = mini_study.port_scan
+        assert "Wemo Plug" not in scan.tcp_v4 or not scan.tcp_v4["Wemo Plug"]
+
+    def test_discovery_covers_v6_devices(self, mini_study):
+        scan = mini_study.port_scan
+        assert "Samsung Fridge" in scan.scanned_v6
+        assert "Wemo Plug" not in scan.scanned_v6  # no IPv6 at all
+        assert "Wemo Plug" in scan.scanned_v4
+
+
+class TestDeterminism:
+    def test_same_seed_same_capture(self):
+        profiles = [p for p in build_inventory() if p.name in ("Wemo Plug", "Philips Hue Hub")]
+        runs = []
+        for _ in range(2):
+            testbed = Testbed(seed=99, profiles=[p for p in build_inventory() if p.name in ("Wemo Plug", "Philips Hue Hub")])
+            result = run_connectivity_experiment(testbed, DUAL_STACK)
+            runs.append([(r.timestamp, r.data) for r in result.records])
+        assert runs[0] == runs[1]
