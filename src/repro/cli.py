@@ -6,6 +6,9 @@ Commands:
 - ``tables``   run the campaign and print only the selected tables
 - ``pcap``     run the campaign and export per-experiment pcap files
 - ``devices``  print the curated 93-device inventory summary
+- ``fleet``    simulate N synthetic homes under a rollout scenario and print
+  population-level analytics (bricked homes, IPv6 traffic share, EUI-64
+  exposure); ``--jobs`` fans homes out over a process pool
 """
 
 from __future__ import annotations
@@ -16,6 +19,20 @@ import time
 
 TABLE_CHOICES = ["2", "3", "4", "5", "6", "7", "8", "9", "10", "12", "13"]
 FIGURE_CHOICES = ["2", "3", "4", "5"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,6 +52,17 @@ def _build_parser() -> argparse.ArgumentParser:
     pcap.add_argument("--seed", type=int, default=42)
 
     sub.add_parser("devices", help="print the 93-device inventory")
+
+    fleet = sub.add_parser("fleet", help="simulate a fleet of homes, print population analytics")
+    fleet.add_argument("--homes", type=_non_negative_int, default=20, help="number of synthetic homes")
+    fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
+    fleet.add_argument(
+        "--scenario",
+        default="flip50",
+        help="rollout scenario name (e.g. baseline, flip25, flip50, ipv6-only, legacy, flipNN)",
+    )
+    fleet.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
     return parser
 
 
@@ -97,8 +125,35 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "tables":
-        _, analysis = _run_study(args.seed)
+        # No table renderer consumes port-scan results, so skip the scan.
+        _, analysis = _run_study(args.seed, with_scan=False)
         _print_tables(analysis, args.numbers)
+        return 0
+
+    if args.command == "fleet":
+        from repro.fleet import aggregate_fleet, generate_fleet, get_scenario, run_fleet
+        from repro.reports import render_fleet_summary
+
+        try:
+            scenario = get_scenario(args.scenario)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        specs = generate_fleet(args.homes, seed=args.seed, scenario=scenario)
+        print(
+            f"simulating {len(specs)} homes (scenario={scenario.name}, "
+            f"seed={args.seed}, jobs={args.jobs}) ...",
+            file=sys.stderr,
+        )
+
+        def progress(done, total, result):
+            status = "ok" if result.ok else "FAILED"
+            print(f"  home {result.spec.home_id:4d} [{done}/{total}] {status}", file=sys.stderr)
+
+        start = time.time()
+        fleet = run_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=progress)
+        print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+        print(render_fleet_summary(aggregate_fleet(fleet)))
         return 0
 
     if args.command == "pcap":

@@ -1,0 +1,146 @@
+"""Population-level rollout analytics over per-home summaries.
+
+This is where the fleet answers the question the single-lab paper cannot:
+*across a customer base, what does a given rollout do?* Every statistic is
+computed from :class:`HomeSummary` records only, with deterministic
+(sorted / insertion-ordered) iteration so that the same fleet always
+aggregates to the same bytes regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fleet.runner import FleetResult
+from repro.fleet.summary import HomeSummary
+from repro.stack.config import ALL_CONFIGS
+
+_CONFIG_ORDER = [config.name for config in ALL_CONFIGS]
+
+
+@dataclass(frozen=True)
+class ConfigStats:
+    """Rollout impact on the homes assigned one network configuration."""
+
+    config_name: str
+    homes: int
+    devices: int
+    bricked_devices: int
+    homes_with_bricked: int
+    eui64_devices: int
+    homes_with_eui64: int
+    data_v6_devices: int
+
+    @property
+    def fraction_homes_bricked(self) -> float:
+        """Fraction of homes with >= 1 bricked device."""
+        return self.homes_with_bricked / self.homes if self.homes else 0.0
+
+    @property
+    def expected_bricked_per_home(self) -> float:
+        return self.bricked_devices / self.homes if self.homes else 0.0
+
+    @property
+    def fraction_homes_eui64(self) -> float:
+        """Fraction of homes leaking >= 1 MAC-derived global address."""
+        return self.homes_with_eui64 / self.homes if self.homes else 0.0
+
+
+@dataclass(frozen=True)
+class ShareDistribution:
+    """Distribution of per-home dual-stack IPv6 traffic share."""
+
+    count: int
+    minimum: float
+    median: float
+    mean: float
+    maximum: float
+
+
+@dataclass(frozen=True)
+class FleetAggregate:
+    """Everything the fleet report renders."""
+
+    total_homes: int
+    completed_homes: int
+    failed_homes: tuple[tuple[int, str], ...]   # (home_id, first error line)
+    per_config: tuple[ConfigStats, ...]
+    v6_share: Optional[ShareDistribution]       # across dual-stack homes
+
+    @property
+    def total_devices(self) -> int:
+        return sum(stats.devices for stats in self.per_config)
+
+    @property
+    def total_bricked(self) -> int:
+        return sum(stats.bricked_devices for stats in self.per_config)
+
+    @property
+    def fraction_homes_bricked(self) -> float:
+        with_bricked = sum(stats.homes_with_bricked for stats in self.per_config)
+        return with_bricked / self.completed_homes if self.completed_homes else 0.0
+
+    @property
+    def expected_bricked_per_home(self) -> float:
+        return self.total_bricked / self.completed_homes if self.completed_homes else 0.0
+
+    @property
+    def eui64_device_prevalence(self) -> float:
+        """Fraction of all fleet devices that exposed an EUI-64 GUA."""
+        exposed = sum(stats.eui64_devices for stats in self.per_config)
+        return exposed / self.total_devices if self.total_devices else 0.0
+
+
+def _config_stats(config_name: str, homes: list[HomeSummary]) -> ConfigStats:
+    return ConfigStats(
+        config_name=config_name,
+        homes=len(homes),
+        devices=sum(home.size for home in homes),
+        bricked_devices=sum(len(home.bricked) for home in homes),
+        homes_with_bricked=sum(1 for home in homes if home.has_bricked),
+        eui64_devices=sum(len(home.eui64_devices) for home in homes),
+        homes_with_eui64=sum(1 for home in homes if home.has_eui64),
+        data_v6_devices=sum(len(home.data_v6_devices) for home in homes),
+    )
+
+
+def _share_distribution(homes: list[HomeSummary]) -> Optional[ShareDistribution]:
+    shares = [home.v6_share for home in homes if home.v6_share is not None]
+    if not shares:
+        return None
+    return ShareDistribution(
+        count=len(shares),
+        minimum=min(shares),
+        median=statistics.median(shares),
+        mean=statistics.fmean(shares),
+        maximum=max(shares),
+    )
+
+
+def aggregate_fleet(fleet: FleetResult) -> FleetAggregate:
+    """Fold ordered per-home results into population statistics."""
+    summaries = fleet.summaries
+    by_config: dict[str, list[HomeSummary]] = {}
+    for summary in summaries:
+        by_config.setdefault(summary.config_name, []).append(summary)
+
+    ordered = sorted(
+        by_config,
+        key=lambda name: (_CONFIG_ORDER.index(name) if name in _CONFIG_ORDER else len(_CONFIG_ORDER), name),
+    )
+    per_config = tuple(_config_stats(name, by_config[name]) for name in ordered)
+
+    failed = tuple(
+        (result.spec.home_id, (result.error or "unknown error").strip().splitlines()[-1])
+        for result in fleet.failures
+    )
+
+    return FleetAggregate(
+        total_homes=len(fleet.results),
+        completed_homes=len(summaries),
+        failed_homes=failed,
+        per_config=per_config,
+        v6_share=_share_distribution(summaries),
+    )

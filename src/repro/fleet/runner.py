@@ -1,0 +1,181 @@
+"""The fleet executor: fan homes out over a process pool, serially if asked.
+
+Every home is an independent seeded simulator, so homes parallelize
+perfectly. The runner guarantees:
+
+- **error isolation** — all exceptions (and optional per-home wall-clock
+  timeouts) are caught *inside* the worker and returned as a failed
+  :class:`HomeResult`; one crashed home never kills the fleet;
+- **deterministic ordering** — results are sorted by ``home_id`` before they
+  are returned, so worker scheduling cannot leak into the output;
+- **serial fallback** — ``jobs=1`` (or an environment where a process pool
+  cannot start) runs everything in-process with identical results.
+"""
+
+from __future__ import annotations
+
+import functools
+import signal
+import threading
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.fleet.scenario import HomeSpec
+from repro.fleet.summary import HomeSummary, summarize_home
+from repro.testbed.study import run_home_study
+
+
+class HomeTimeout(Exception):
+    """A home exceeded its per-home wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class HomeResult:
+    """Outcome for one home: a summary, or an error string."""
+
+    spec: HomeSpec
+    summary: Optional[HomeSummary] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.summary is not None
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """All per-home outcomes, ordered by ``home_id``."""
+
+    results: tuple[HomeResult, ...]
+    jobs: int
+
+    @property
+    def summaries(self) -> list[HomeSummary]:
+        return [result.summary for result in self.results if result.ok]
+
+    @property
+    def failures(self) -> list[HomeResult]:
+        return [result for result in self.results if not result.ok]
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`HomeTimeout` after ``seconds`` of wall-clock time.
+
+    Uses SIGALRM, so it only arms on platforms that have it and only on the
+    main thread of the (worker or fallback-serial) process; otherwise it is
+    a no-op and homes run without a budget.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise HomeTimeout(f"home exceeded {seconds:.3f}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def simulate_home(spec: HomeSpec) -> HomeSummary:
+    """Run one home end-to-end and summarize it (raises on failure)."""
+    study = run_home_study(
+        spec.sim_seed,
+        spec.config_name,
+        spec.device_names,
+        checkins=spec.checkins,
+    )
+    return summarize_home(study, spec)
+
+
+def _execute_home(spec: HomeSpec, timeout: Optional[float] = None) -> HomeResult:
+    """The guarded worker entry point: never raises, always returns."""
+    try:
+        with _deadline(timeout):
+            return HomeResult(spec=spec, summary=simulate_home(spec))
+    except Exception:
+        return HomeResult(spec=spec, error=traceback.format_exc(limit=8))
+
+
+ProgressFn = Callable[[int, int, HomeResult], None]
+
+
+def _run_serial(
+    specs: Sequence[HomeSpec],
+    timeout: Optional[float],
+    progress: Optional[ProgressFn],
+) -> list[HomeResult]:
+    results = []
+    for done, spec in enumerate(specs, start=1):
+        result = _execute_home(spec, timeout)
+        results.append(result)
+        if progress is not None:
+            progress(done, len(specs), result)
+    return results
+
+
+def _run_parallel(
+    specs: Sequence[HomeSpec],
+    jobs: int,
+    timeout: Optional[float],
+    progress: Optional[ProgressFn],
+) -> list[HomeResult]:
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = multiprocessing.get_context()
+    worker = functools.partial(_execute_home, timeout=timeout)
+    results = []
+    with context.Pool(processes=jobs) as pool:
+        for done, result in enumerate(pool.imap_unordered(worker, specs), start=1):
+            results.append(result)
+            if progress is not None:
+                progress(done, len(specs), result)
+    return results
+
+
+def run_fleet(
+    specs: Sequence[HomeSpec],
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+) -> FleetResult:
+    """Simulate every home in ``specs`` and return ordered results.
+
+    ``jobs > 1`` fans out over a ``multiprocessing`` pool; ``jobs = 1`` (or a
+    pool that fails to start) runs serially. Both paths produce identical
+    :class:`FleetResult`\\ s — each home is a pure function of its spec, and
+    results are re-sorted by ``home_id`` after collection.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    specs = list(specs)
+    effective_jobs = min(jobs, len(specs)) or 1
+
+    if effective_jobs == 1:
+        results = _run_serial(specs, timeout, progress)
+    else:
+        try:
+            results = _run_parallel(specs, effective_jobs, timeout, progress)
+        except (OSError, ImportError):
+            # No process pool available here (e.g. sandboxed); degrade to serial.
+            results = _run_serial(specs, timeout, progress)
+
+    results.sort(key=lambda result: result.spec.home_id)
+    return FleetResult(results=tuple(results), jobs=effective_jobs)

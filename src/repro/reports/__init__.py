@@ -17,6 +17,7 @@ from repro.reports.tables import (
     render_table12,
     render_table13,
 )
+from repro.reports.fleet import render_fleet_summary
 from repro.reports.figures import (
     figure2_data,
     figure3_data,
@@ -48,4 +49,5 @@ __all__ = [
     "render_figure3",
     "render_figure4",
     "render_figure5",
+    "render_fleet_summary",
 ]

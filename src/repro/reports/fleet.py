@@ -1,0 +1,55 @@
+"""Text renderer for the fleet (population rollout) summary.
+
+The output is a pure function of the :class:`FleetAggregate` — no wall-clock
+timings, no unsorted containers — so serial and parallel fleet runs render
+byte-identical summaries.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.aggregate import FleetAggregate
+from repro.reports.render import format_table
+
+
+def render_fleet_summary(aggregate: FleetAggregate) -> str:
+    rows = []
+    for stats in aggregate.per_config:
+        rows.append(
+            [
+                stats.config_name,
+                stats.homes,
+                stats.devices,
+                stats.bricked_devices,
+                f"{stats.expected_bricked_per_home:.2f}",
+                f"{100.0 * stats.fraction_homes_bricked:.1f}%",
+                stats.eui64_devices,
+                f"{100.0 * stats.fraction_homes_eui64:.1f}%",
+            ]
+        )
+    title = (
+        f"Fleet summary: {aggregate.completed_homes}/{aggregate.total_homes} homes simulated"
+        + (f", {len(aggregate.failed_homes)} failed" if aggregate.failed_homes else "")
+    )
+    table = format_table(
+        title,
+        ["Config", "Homes", "Devices", "Bricked", "E[bricked/home]", "Homes w/ brick", "EUI-64 dev", "Homes w/ EUI-64"],
+        rows,
+    )
+
+    lines = [table]
+    lines.append(
+        "Fleet totals: "
+        f"{100.0 * aggregate.fraction_homes_bricked:.1f}% of homes have >=1 bricked device, "
+        f"E[bricked/home]={aggregate.expected_bricked_per_home:.2f}, "
+        f"EUI-64 exposure={100.0 * aggregate.eui64_device_prevalence:.1f}% of devices"
+    )
+    share = aggregate.v6_share
+    if share is not None:
+        lines.append(
+            f"Dual-stack IPv6 traffic share ({share.count} homes): "
+            f"min={100.0 * share.minimum:.1f}%  median={100.0 * share.median:.1f}%  "
+            f"mean={100.0 * share.mean:.1f}%  max={100.0 * share.maximum:.1f}%"
+        )
+    for home_id, error in aggregate.failed_homes:
+        lines.append(f"FAILED home {home_id}: {error}")
+    return "\n".join(lines)

@@ -11,17 +11,23 @@ from typing import Callable
 class Event:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple, sim=None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
+            self._sim = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -42,6 +48,7 @@ class Simulator:
         self._queue: list[Event] = []
         self._sequence = itertools.count()
         self._rng = random.Random(seed)
+        self._live = 0  # not-yet-fired, not-cancelled events (O(1) `pending`)
 
     def rng_for(self, name: str) -> random.Random:
         """A child RNG with a stream derived from (seed, name)."""
@@ -51,8 +58,9 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self.now + delay, next(self._sequence), callback, args)
+        event = Event(self.now + delay, next(self._sequence), callback, args, self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable, *args) -> Event:
@@ -65,6 +73,8 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event._sim = None  # a later cancel() must not decrement again
             self.now = event.time
             event.callback(*event.args)
         self.now = max(self.now, time)
@@ -81,11 +91,13 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event._sim = None
             self.now = event.time
             event.callback(*event.args)
         raise RuntimeError(f"event limit exceeded ({limit}); runaway timer?")
 
     @property
     def pending(self) -> int:
-        """The number of not-yet-cancelled queued events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """The number of not-yet-cancelled queued events (O(1))."""
+        return self._live

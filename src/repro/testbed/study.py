@@ -11,7 +11,7 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional, Sequence, Union
 
 from repro.net.pcap import PcapWriter
 from repro.stack.config import ALL_CONFIGS, DUAL_STACK, NetworkConfig
@@ -92,4 +92,64 @@ def run_full_study(
 
     if with_active_dns:
         study.active_dns = active_dns_queries(testbed.internet, observed_domains(study))
+    return study
+
+
+# --------------------------------------------------------------- fleet entry
+
+
+def resolve_config(config: Union[NetworkConfig, str]) -> NetworkConfig:
+    """Look a :class:`NetworkConfig` up by name (identity for configs)."""
+    if isinstance(config, NetworkConfig):
+        return config
+    for candidate in ALL_CONFIGS:
+        if candidate.name == config:
+            return candidate
+    raise KeyError(f"unknown network config {config!r}")
+
+
+def profiles_by_name(device_names: Sequence[str]):
+    """Resolve inventory device names to profiles, rejecting unknown names."""
+    from repro.devices import build_inventory
+
+    by_name = {profile.name: profile for profile in build_inventory()}
+    missing = [name for name in device_names if name not in by_name]
+    if missing:
+        raise KeyError(f"unknown inventory devices: {missing}")
+    return [by_name[name] for name in device_names]
+
+
+def run_home_study(
+    seed: int,
+    config: Union[NetworkConfig, str],
+    device_names: Sequence[str],
+    *,
+    checkins: int = 2,
+    progress: Optional[Callable[[float, int], None]] = None,
+    progress_interval: float = 100.0,
+) -> Study:
+    """Run one synthetic *home*: a device subset under a single network config.
+
+    This is the picklable per-home entry point the fleet runner
+    (:mod:`repro.fleet.runner`) fans out over a worker pool — it takes only
+    plain values (seed, config name, device names), rebuilds the profiles
+    from the inventory inside the worker, and returns a single-experiment
+    :class:`Study`. ``progress``, if given, is polled on a simulated timer
+    with ``(virtual_time, simulator.pending)``; the timer callbacks touch no
+    device state, so enabling progress does not perturb the simulation.
+    """
+    config = resolve_config(config)
+    profiles = profiles_by_name(device_names)
+    testbed = Testbed(seed=seed, profiles=profiles, include_controls=False)
+
+    if progress is not None:
+
+        def tick() -> None:
+            progress(testbed.sim.now, testbed.sim.pending)
+            testbed.sim.schedule(progress_interval, tick)
+
+        testbed.sim.schedule(progress_interval, tick)
+
+    study = Study(testbed=testbed)
+    study.experiments[config.name] = run_connectivity_experiment(testbed, config, checkins=checkins)
     return study

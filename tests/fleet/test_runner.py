@@ -1,0 +1,123 @@
+"""Runner tests: serial/parallel equality, error isolation, determinism.
+
+Hand-built small :class:`HomeSpec`\\ s keep each simulated home cheap; the
+runner does not care whether a spec came from ``generate_fleet``.
+"""
+
+import pytest
+
+from repro.fleet import HomeSpec, aggregate_fleet, run_fleet, simulate_home
+from repro.reports import render_fleet_summary
+
+SMALL_HOMES = [
+    HomeSpec(
+        home_id=0,
+        sim_seed=101,
+        config_name="ipv6-only",
+        device_names=("Samsung Fridge", "GE Microwave", "Behmor Brewer"),
+    ),
+    HomeSpec(
+        home_id=1,
+        sim_seed=202,
+        config_name="dual-stack",
+        device_names=("Samsung Fridge", "Miele Dishwasher"),
+    ),
+    HomeSpec(
+        home_id=2,
+        sim_seed=303,
+        config_name="ipv4-only",
+        device_names=("Smarter IKettle", "Xiaomi Ricecooker"),
+    ),
+]
+
+BROKEN_HOME = HomeSpec(
+    home_id=3,
+    sim_seed=404,
+    config_name="ipv6-only",
+    device_names=("No Such Device",),
+)
+
+
+def test_simulate_home_is_deterministic():
+    first = simulate_home(SMALL_HOMES[0])
+    second = simulate_home(SMALL_HOMES[0])
+    assert first == second
+    assert first.config_name == "ipv6-only"
+    assert first.size == 3
+
+
+def test_serial_and_parallel_results_are_equal():
+    serial = run_fleet(SMALL_HOMES, jobs=1)
+    parallel = run_fleet(SMALL_HOMES, jobs=2)
+    assert serial.summaries == parallel.summaries
+    assert render_fleet_summary(aggregate_fleet(serial)) == render_fleet_summary(
+        aggregate_fleet(parallel)
+    )
+
+
+def test_results_ordered_by_home_id():
+    fleet = run_fleet(list(reversed(SMALL_HOMES)), jobs=2)
+    assert [result.spec.home_id for result in fleet.results] == [0, 1, 2]
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_one_failing_home_does_not_abort_the_fleet(jobs):
+    fleet = run_fleet(SMALL_HOMES + [BROKEN_HOME], jobs=jobs)
+    assert len(fleet.results) == 4
+    assert len(fleet.summaries) == 3
+    (failure,) = fleet.failures
+    assert failure.spec.home_id == 3
+    assert "No Such Device" in failure.error
+
+    aggregate = aggregate_fleet(fleet)
+    assert aggregate.total_homes == 4
+    assert aggregate.completed_homes == 3
+    assert aggregate.failed_homes[0][0] == 3
+    assert "FAILED home 3" in render_fleet_summary(aggregate)
+
+
+def test_timeout_reports_a_failed_home():
+    fleet = run_fleet([SMALL_HOMES[0]], jobs=1, timeout=1e-4)
+    (result,) = fleet.results
+    assert not result.ok
+    assert "HomeTimeout" in result.error
+
+
+def test_dual_stack_home_reports_v6_share():
+    summary = simulate_home(SMALL_HOMES[1])
+    assert summary.v6_share is not None
+    assert 0.0 <= summary.v6_share <= 1.0
+
+
+def test_ipv4_only_home_has_no_share_and_no_bricks():
+    summary = simulate_home(SMALL_HOMES[2])
+    assert summary.v6_share is None
+    assert summary.bricked == ()
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ValueError):
+        run_fleet(SMALL_HOMES, jobs=0)
+
+
+def test_progress_polling_does_not_perturb_the_simulation():
+    """run_home_study's pending-poll timer must not change observable results."""
+    from repro.fleet.summary import summarize_home
+    from repro.testbed.study import run_home_study
+
+    spec = SMALL_HOMES[0]
+    plain = summarize_home(
+        run_home_study(spec.sim_seed, spec.config_name, spec.device_names), spec
+    )
+    ticks = []
+    polled = summarize_home(
+        run_home_study(
+            spec.sim_seed,
+            spec.config_name,
+            spec.device_names,
+            progress=lambda now, pending: ticks.append((now, pending)),
+        ),
+        spec,
+    )
+    assert ticks and all(pending >= 0 for _, pending in ticks)
+    assert polled == plain

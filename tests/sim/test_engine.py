@@ -67,6 +67,33 @@ class TestScheduling:
         assert fired == []
         assert sim.pending == 0
 
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending == 5
+        events[0].cancel()
+        assert sim.pending == 4
+        sim.run(2.0)  # fires the (live) event at t=2
+        assert sim.pending == 3
+        sim.run_all()
+        assert sim.pending == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_does_not_go_negative(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run(2.0)
+        event.cancel()
+        assert sim.pending == 0
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending == 1
+
     def test_schedule_at_absolute_time(self):
         sim = Simulator()
         sim.run(10.0)

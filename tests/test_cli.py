@@ -21,5 +21,17 @@ def test_help_lists_commands(capsys):
     with pytest.raises(SystemExit):
         main(["--help"])
     out = capsys.readouterr().out
-    for command in ("study", "tables", "pcap", "devices"):
+    for command in ("study", "tables", "pcap", "devices", "fleet"):
         assert command in out
+
+
+def test_fleet_command(capsys):
+    assert main(["fleet", "--homes", "3", "--jobs", "1", "--seed", "7", "--scenario", "flip50"]) == 0
+    captured = capsys.readouterr()
+    assert "Fleet summary: 3/3 homes simulated" in captured.out
+    assert "E[bricked/home]" in captured.out
+
+
+def test_fleet_unknown_scenario(capsys):
+    assert main(["fleet", "--homes", "1", "--scenario", "bogus"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
