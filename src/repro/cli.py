@@ -9,6 +9,9 @@ Commands:
 - ``fleet``    simulate N synthetic homes under a rollout scenario and print
   population-level analytics (bricked homes, IPv6 traffic share, EUI-64
   exposure); ``--jobs`` fans homes out over a process pool
+- ``exposure`` scan N synthetic homes from the WAN under one or more router
+  firewall modes and print the population attack surface (discoverable /
+  reachable devices by address type)
 """
 
 from __future__ import annotations
@@ -63,6 +66,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rollout scenario name (e.g. baseline, flip25, flip50, ipv6-only, legacy, flipNN)",
     )
     fleet.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
+
+    exposure = sub.add_parser("exposure", help="WAN-scan a fleet of homes, print the population attack surface")
+    exposure.add_argument("--homes", type=_non_negative_int, default=8, help="number of synthetic homes")
+    exposure.add_argument("--seed", type=int, default=42)
+    exposure.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
+    exposure.add_argument(
+        "--config",
+        default="dual-stack",
+        choices=["ipv6-only", "ipv6-only-rdnss", "ipv6-only-stateful", "dual-stack", "dual-stack-stateful"],
+        help="network configuration every home runs (must have IPv6)",
+    )
+    exposure.add_argument(
+        "--firewall",
+        nargs="+",
+        default=["open", "stateful", "pinhole"],
+        choices=["open", "stateful", "pinhole"],
+        help="router firewall mode(s) to scan each home under",
+    )
+    exposure.add_argument("--timeout", type=float, default=None, help="per-scan wall-clock budget in seconds")
     return parser
 
 
@@ -154,6 +176,32 @@ def main(argv: list[str] | None = None) -> int:
         fleet = run_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=progress)
         print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
         print(render_fleet_summary(aggregate_fleet(fleet)))
+        return 0
+
+    if args.command == "exposure":
+        from repro.exposure import aggregate_exposure, generate_exposure_specs, run_exposure_fleet
+        from repro.reports import render_exposure
+
+        specs = generate_exposure_specs(
+            args.homes, seed=args.seed, config_name=args.config, firewalls=tuple(args.firewall)
+        )
+        print(
+            f"WAN-scanning {args.homes} homes x {len(args.firewall)} firewall mode(s) "
+            f"(config={args.config}, seed={args.seed}, jobs={args.jobs}) ...",
+            file=sys.stderr,
+        )
+
+        def scan_progress(done, total, result):
+            status = "ok" if result.ok else "FAILED"
+            print(
+                f"  home {result.spec.home_id:4d} [{result.spec.firewall}] [{done}/{total}] {status}",
+                file=sys.stderr,
+            )
+
+        start = time.time()
+        fleet = run_exposure_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=scan_progress)
+        print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+        print(render_exposure(aggregate_exposure(fleet)))
         return 0
 
     if args.command == "pcap":

@@ -120,6 +120,17 @@ class Internet:
             self._endpoints[address] = endpoint
         return endpoint
 
+    def attach_endpoint(self, address, endpoint) -> None:
+        """Install a caller-provided endpoint object at ``address``.
+
+        The object only needs ``reachable`` and ``handle(packet)`` — this is
+        how the WAN-side exposure scanner receives replies routed back out of
+        the home (:mod:`repro.exposure.wanscan`).
+        """
+        if isinstance(address, str):
+            address = ipaddress.ip_address(address)
+        self._endpoints[address] = endpoint
+
     def materialize_registry(self) -> None:
         """Create an endpoint for every address in the DNS registry."""
         for record in self.registry.domains():

@@ -11,7 +11,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cloud.parties import SUPPORT_SLDS as _SUPPORT, TRACKER_SLDS as _TRACKERS
 from repro.core.addressing import collect_addresses, eui64_usage
@@ -23,6 +23,10 @@ from repro.core.analysis import (
 )
 from repro.net.dns import TYPE_A, TYPE_AAAA
 from repro.net.ip6 import AddressScope, classify_address, mac_from_eui64
+
+if TYPE_CHECKING:
+    from repro.exposure.wanscan import WanScanResult
+    from repro.testbed.portscan import ScanReport
 
 # Party classification lists (the paper classified with curated public
 # lists; analysts and trackers share those lists by nature, so we import the
@@ -146,24 +150,47 @@ def tracking_domains(analysis: StudyAnalysis) -> TrackingReport:
 
 @dataclass
 class PortDiffReport:
-    """Open-port asymmetries between IPv4 and IPv6."""
+    """Open-port asymmetries between IPv4 and IPv6 — and, when a WAN scan is
+    supplied, which of those IPv6-open ports are reachable from the open
+    Internet (the paper's "no NAT masking" concern, §5.4.2)."""
 
-    v4_only_open: dict = field(default_factory=dict)   # device -> ports
-    v6_only_open: dict = field(default_factory=dict)
-    comparable_devices: set = field(default_factory=set)
+    v4_only_open: dict[str, list[int]] = field(default_factory=dict)   # device -> ports
+    v6_only_open: dict[str, list[int]] = field(default_factory=dict)
+    comparable_devices: set[str] = field(default_factory=set)
+    wan_tcp_open: dict[str, list[int]] = field(default_factory=dict)   # device -> WAN-reachable TCP
+    wan_udp_open: dict[str, list[int]] = field(default_factory=dict)
+    wan_reachable_devices: set[str] = field(default_factory=set)
 
 
-def port_diffs(analysis: StudyAnalysis, scan: Optional[object] = None) -> PortDiffReport:
+def port_diffs(
+    analysis: StudyAnalysis,
+    scan: Optional["ScanReport"] = None,
+    exposure: Optional["WanScanResult"] = None,
+) -> PortDiffReport:
+    """LAN-scan port asymmetries, optionally joined with a WAN scan.
+
+    ``exposure`` (a :class:`repro.exposure.wanscan.WanScanResult`) marks
+    which devices and ports an internet-origin attacker could actually
+    reach, so privacy tables can distinguish "open on the LAN" from "open
+    to the world".
+    """
     scan = scan if scan is not None else analysis.study.port_scan
     report = PortDiffReport()
-    if scan is None:
-        return report
-    report.comparable_devices = scan.scanned_v4 & scan.scanned_v6
-    for device in sorted(report.comparable_devices):
-        v4_only = scan.v4_only_tcp(device)
-        v6_only = scan.v6_only_tcp(device)
-        if v4_only:
-            report.v4_only_open[device] = sorted(v4_only)
-        if v6_only:
-            report.v6_only_open[device] = sorted(v6_only)
+    if scan is not None:
+        report.comparable_devices = scan.scanned_v4 & scan.scanned_v6
+        for device in sorted(report.comparable_devices):
+            v4_only = scan.v4_only_tcp(device)
+            v6_only = scan.v6_only_tcp(device)
+            if v4_only:
+                report.v4_only_open[device] = sorted(v4_only)
+            if v6_only:
+                report.v6_only_open[device] = sorted(v6_only)
+    if exposure is not None:
+        for device, device_report in sorted(exposure.devices.items()):
+            if device_report.reachable:
+                report.wan_reachable_devices.add(device)
+            if device_report.open_tcp:
+                report.wan_tcp_open[device] = sorted(device_report.open_tcp)
+            if device_report.open_udp:
+                report.wan_udp_open[device] = sorted(device_report.open_udp)
     return report

@@ -129,6 +129,8 @@ class IoTDevice:
             open_tcp_ports_v6=p.open_tcp_v6,
             open_udp_ports_v4=p.open_udp_v4,
             open_udp_ports_v6=p.open_udp_v6,
+            pinhole_tcp_ports_v6=p.pinhole_tcp_v6,
+            pinhole_udp_ports_v6=p.pinhole_udp_v6,
         )
 
     def prepare(self, network: NetworkConfig) -> None:

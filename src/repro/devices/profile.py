@@ -179,6 +179,12 @@ class DeviceProfile:
     open_udp_v4: tuple = ()
     open_udp_v6: tuple = ()
 
+    # inbound IPv6 holes the device requests from a pinhole-mode router
+    # firewall (UPnP/PCP-style port mappings); empty means "derive from the
+    # category defaults" (see repro.exposure.analysis.effective_pinholes)
+    pinhole_tcp_v6: tuple = ()
+    pinhole_udp_v6: tuple = ()
+
     # per-network-class observable behaviour
     v6only: Phase = NO_IPV6
     dual: Optional[Phase] = None     # defaults to v6only when omitted

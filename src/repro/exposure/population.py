@@ -1,0 +1,211 @@
+"""Population-scale exposure analytics.
+
+Crosses the fleet generator's synthetic homes with router firewall modes and
+answers the subsystem's headline question: *what fraction of homes has at
+least one internet-reachable device?* Because home generation uses common
+random numbers (the portfolio stream never sees the firewall mode), every
+firewall mode scans the **same homes** — the per-mode columns are paired
+counterfactuals, not resampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.exposure.analysis import HomeExposure, run_home_exposure
+from repro.fleet.runner import FleetResult, ProgressFn, run_fleet
+from repro.fleet.scenario import RolloutScenario, generate_fleet
+from repro.stack.firewall import FIREWALL_MODES
+from repro.testbed.study import resolve_config
+
+DEFAULT_SETTLE = 150.0  # sim-seconds of autoconfiguration before the scan
+
+
+@dataclass(frozen=True)
+class ExposureSpec:
+    """One (home, firewall mode) cell: a seeded, picklable simulator input."""
+
+    home_id: int
+    sim_seed: int
+    config_name: str
+    firewall: str
+    device_names: tuple[str, ...]
+    settle: float = DEFAULT_SETTLE
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.home_id, self.firewall)
+
+    @property
+    def size(self) -> int:
+        return len(self.device_names)
+
+
+def generate_exposure_specs(
+    homes: int,
+    *,
+    seed: int,
+    config_name: str = "dual-stack",
+    firewalls: Sequence[str] = FIREWALL_MODES,
+    settle: float = DEFAULT_SETTLE,
+) -> list[ExposureSpec]:
+    """Sample ``homes`` synthetic homes and cross them with firewall modes.
+
+    The home population is drawn once (via the fleet generator's
+    scenario-independent streams) and shared by every firewall mode.
+    """
+    for firewall in firewalls:
+        if firewall not in FIREWALL_MODES:
+            raise ValueError(f"unknown firewall mode {firewall!r} (known: {', '.join(FIREWALL_MODES)})")
+    if not firewalls:
+        raise ValueError("need at least one firewall mode")
+    config = resolve_config(config_name)
+    if not config.ipv6:
+        raise ValueError(f"config {config.name!r} has no IPv6; exposure needs a routed prefix")
+
+    scenario = RolloutScenario(name="exposure", config_mix=((config.name, 1.0),))
+    return [
+        ExposureSpec(
+            home_id=home.home_id,
+            sim_seed=home.sim_seed,
+            config_name=config.name,
+            firewall=firewall,
+            device_names=home.device_names,
+            settle=settle,
+        )
+        for home in generate_fleet(homes, seed=seed, scenario=scenario)
+        for firewall in firewalls
+    ]
+
+
+def run_exposure_fleet(
+    specs: Sequence[ExposureSpec],
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+) -> FleetResult:
+    """Scan every (home, firewall) cell; results ordered by ``sort_key``."""
+    return run_fleet(specs, jobs=jobs, timeout=timeout, progress=progress, worker=run_home_exposure)
+
+
+# ------------------------------------------------------------- aggregation
+
+
+@dataclass(frozen=True)
+class AddrKindStats:
+    """Discovery/reachability by headline address kind, one firewall mode."""
+
+    kind: str
+    devices: int
+    discoverable: int
+    reachable: int
+
+
+@dataclass(frozen=True)
+class FirewallStats:
+    """Population exposure under one firewall mode."""
+
+    firewall: str
+    homes: int
+    devices: int
+    discoverable_devices: int
+    responsive_devices: int
+    reachable_devices: int
+    open_tcp_ports: int                 # (device, port) pairs WAN-open
+    open_udp_ports: int
+    homes_with_discoverable: int
+    homes_with_reachable: int
+    wan_dropped: int
+    by_addr_kind: tuple[AddrKindStats, ...]
+
+    @property
+    def fraction_homes_reachable(self) -> float:
+        return self.homes_with_reachable / self.homes if self.homes else 0.0
+
+    @property
+    def fraction_homes_discoverable(self) -> float:
+        return self.homes_with_discoverable / self.homes if self.homes else 0.0
+
+
+@dataclass(frozen=True)
+class ExposureAggregate:
+    """The whole population, one block per firewall mode."""
+
+    config_name: str
+    total_runs: int
+    failed: tuple[tuple[int, str, str], ...]   # (home_id, firewall, first error line)
+    per_firewall: tuple[FirewallStats, ...]
+
+    @property
+    def completed(self) -> int:
+        return self.total_runs - len(self.failed)
+
+    def stats_for(self, firewall: str) -> FirewallStats:
+        for stats in self.per_firewall:
+            if stats.firewall == firewall:
+                return stats
+        raise KeyError(firewall)
+
+
+def _firewall_order(firewall: str) -> tuple:
+    try:
+        return (FIREWALL_MODES.index(firewall), firewall)
+    except ValueError:
+        return (len(FIREWALL_MODES), firewall)
+
+
+def _stats_for(firewall: str, summaries: list[HomeExposure]) -> FirewallStats:
+    devices = [device for summary in summaries for device in summary.devices]
+    kinds = sorted({device.addr_kind for device in devices})
+    by_kind = tuple(
+        AddrKindStats(
+            kind=kind,
+            devices=sum(1 for d in devices if d.addr_kind == kind),
+            discoverable=sum(1 for d in devices if d.addr_kind == kind and d.discoverable),
+            reachable=sum(1 for d in devices if d.addr_kind == kind and d.reachable),
+        )
+        for kind in kinds
+    )
+    return FirewallStats(
+        firewall=firewall,
+        homes=len(summaries),
+        devices=len(devices),
+        discoverable_devices=sum(1 for d in devices if d.discoverable),
+        responsive_devices=sum(1 for d in devices if d.responsive),
+        reachable_devices=sum(1 for d in devices if d.reachable),
+        open_tcp_ports=sum(len(d.open_tcp) for d in devices),
+        open_udp_ports=sum(len(d.open_udp) for d in devices),
+        homes_with_discoverable=sum(1 for s in summaries if s.discoverable_devices),
+        homes_with_reachable=sum(1 for s in summaries if s.any_reachable),
+        wan_dropped=sum(s.wan_dropped for s in summaries),
+        by_addr_kind=by_kind,
+    )
+
+
+def aggregate_exposure(fleet: FleetResult) -> ExposureAggregate:
+    """Collapse per-(home, firewall) results into per-mode population stats."""
+    by_firewall: dict[str, list[HomeExposure]] = {}
+    failed: list[tuple[int, str, str]] = []
+    config_name = ""
+    for result in fleet.results:
+        spec = result.spec
+        if not result.ok:
+            first_line = (result.error or "").strip().splitlines()[-1] if result.error else "unknown error"
+            failed.append((spec.home_id, spec.firewall, first_line))
+            continue
+        summary = result.summary
+        config_name = summary.config_name
+        by_firewall.setdefault(spec.firewall, []).append(summary)
+
+    per_firewall = tuple(
+        _stats_for(firewall, summaries)
+        for firewall, summaries in sorted(by_firewall.items(), key=lambda item: _firewall_order(item[0]))
+    )
+    return ExposureAggregate(
+        config_name=config_name,
+        total_runs=len(fleet.results),
+        failed=tuple(failed),
+        per_firewall=per_firewall,
+    )

@@ -6,10 +6,15 @@ perfectly. The runner guarantees:
 - **error isolation** — all exceptions (and optional per-home wall-clock
   timeouts) are caught *inside* the worker and returned as a failed
   :class:`HomeResult`; one crashed home never kills the fleet;
-- **deterministic ordering** — results are sorted by ``home_id`` before they
-  are returned, so worker scheduling cannot leak into the output;
+- **deterministic ordering** — results are sorted by the spec's ``sort_key``
+  (``home_id`` for plain homes) before they are returned, so worker
+  scheduling cannot leak into the output;
 - **serial fallback** — ``jobs=1`` (or an environment where a process pool
   cannot start) runs everything in-process with identical results.
+
+The runner is worker-agnostic: any picklable ``worker(spec) -> summary``
+callable can be fanned out (the exposure subsystem reuses it with
+:func:`repro.exposure.analysis.run_home_exposure`).
 """
 
 from __future__ import annotations
@@ -33,10 +38,10 @@ class HomeTimeout(Exception):
 
 @dataclass(frozen=True)
 class HomeResult:
-    """Outcome for one home: a summary, or an error string."""
+    """Outcome for one home: a worker summary, or an error string."""
 
-    spec: HomeSpec
-    summary: Optional[HomeSummary] = None
+    spec: object                    # HomeSpec, ExposureSpec, or any sort_key-able spec
+    summary: Optional[object] = None
     error: Optional[str] = None
 
     @property
@@ -46,13 +51,13 @@ class HomeResult:
 
 @dataclass(frozen=True)
 class FleetResult:
-    """All per-home outcomes, ordered by ``home_id``."""
+    """All per-home outcomes, ordered by spec ``sort_key``."""
 
     results: tuple[HomeResult, ...]
     jobs: int
 
     @property
-    def summaries(self) -> list[HomeSummary]:
+    def summaries(self) -> list:
         return [result.summary for result in self.results if result.ok]
 
     @property
@@ -101,11 +106,14 @@ def simulate_home(spec: HomeSpec) -> HomeSummary:
     return summarize_home(study, spec)
 
 
-def _execute_home(spec: HomeSpec, timeout: Optional[float] = None) -> HomeResult:
+WorkerFn = Callable[[object], object]
+
+
+def _execute_home(spec: HomeSpec, timeout: Optional[float] = None, worker: WorkerFn = simulate_home) -> HomeResult:
     """The guarded worker entry point: never raises, always returns."""
     try:
         with _deadline(timeout):
-            return HomeResult(spec=spec, summary=simulate_home(spec))
+            return HomeResult(spec=spec, summary=worker(spec))
     except Exception:
         return HomeResult(spec=spec, error=traceback.format_exc(limit=8))
 
@@ -117,10 +125,11 @@ def _run_serial(
     specs: Sequence[HomeSpec],
     timeout: Optional[float],
     progress: Optional[ProgressFn],
+    worker: WorkerFn,
 ) -> list[HomeResult]:
     results = []
     for done, spec in enumerate(specs, start=1):
-        result = _execute_home(spec, timeout)
+        result = _execute_home(spec, timeout, worker)
         results.append(result)
         if progress is not None:
             progress(done, len(specs), result)
@@ -132,6 +141,7 @@ def _run_parallel(
     jobs: int,
     timeout: Optional[float],
     progress: Optional[ProgressFn],
+    worker: WorkerFn,
 ) -> list[HomeResult]:
     import multiprocessing
 
@@ -139,14 +149,18 @@ def _run_parallel(
         context = multiprocessing.get_context("fork")
     except ValueError:
         context = multiprocessing.get_context()
-    worker = functools.partial(_execute_home, timeout=timeout)
+    entry = functools.partial(_execute_home, timeout=timeout, worker=worker)
     results = []
     with context.Pool(processes=jobs) as pool:
-        for done, result in enumerate(pool.imap_unordered(worker, specs), start=1):
+        for done, result in enumerate(pool.imap_unordered(entry, specs), start=1):
             results.append(result)
             if progress is not None:
                 progress(done, len(specs), result)
     return results
+
+
+def _sort_key(result: HomeResult):
+    return getattr(result.spec, "sort_key", result.spec.home_id)
 
 
 def run_fleet(
@@ -155,13 +169,16 @@ def run_fleet(
     jobs: int = 1,
     timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
+    worker: WorkerFn = simulate_home,
 ) -> FleetResult:
-    """Simulate every home in ``specs`` and return ordered results.
+    """Run ``worker`` over every spec and return ordered results.
 
     ``jobs > 1`` fans out over a ``multiprocessing`` pool; ``jobs = 1`` (or a
     pool that fails to start) runs serially. Both paths produce identical
     :class:`FleetResult`\\ s — each home is a pure function of its spec, and
-    results are re-sorted by ``home_id`` after collection.
+    results are re-sorted by spec ``sort_key`` (``home_id`` for specs without
+    one) after collection. ``worker`` must be a picklable module-level
+    callable taking one spec.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -169,13 +186,13 @@ def run_fleet(
     effective_jobs = min(jobs, len(specs)) or 1
 
     if effective_jobs == 1:
-        results = _run_serial(specs, timeout, progress)
+        results = _run_serial(specs, timeout, progress, worker)
     else:
         try:
-            results = _run_parallel(specs, effective_jobs, timeout, progress)
+            results = _run_parallel(specs, effective_jobs, timeout, progress, worker)
         except (OSError, ImportError):
             # No process pool available here (e.g. sandboxed); degrade to serial.
-            results = _run_serial(specs, timeout, progress)
+            results = _run_serial(specs, timeout, progress, worker)
 
-    results.sort(key=lambda result: result.spec.home_id)
+    results.sort(key=_sort_key)
     return FleetResult(results=tuple(results), jobs=effective_jobs)

@@ -17,6 +17,7 @@ from repro.reports.tables import (
     render_table12,
     render_table13,
 )
+from repro.reports.exposure import render_exposure
 from repro.reports.fleet import render_fleet_summary
 from repro.reports.figures import (
     figure2_data,
@@ -49,5 +50,6 @@ __all__ = [
     "render_figure3",
     "render_figure4",
     "render_figure5",
+    "render_exposure",
     "render_fleet_summary",
 ]

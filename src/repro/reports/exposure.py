@@ -1,0 +1,54 @@
+"""Population exposure report: the WAN attack surface per firewall mode."""
+
+from __future__ import annotations
+
+from repro.exposure.population import ExposureAggregate
+from repro.reports.render import format_table
+
+
+def render_exposure(aggregate: ExposureAggregate) -> str:
+    """Per-firewall population table + per-address-kind breakdown."""
+    rows = []
+    for stats in aggregate.per_firewall:
+        rows.append(
+            [
+                stats.firewall,
+                stats.homes,
+                stats.devices,
+                stats.discoverable_devices,
+                stats.responsive_devices,
+                stats.reachable_devices,
+                stats.open_tcp_ports,
+                stats.open_udp_ports,
+                stats.wan_dropped,
+                f"{100.0 * stats.fraction_homes_reachable:.1f}%",
+            ]
+        )
+    title = (
+        f"WAN exposure: {aggregate.config_name or 'n/a'}, "
+        f"{aggregate.completed}/{aggregate.total_runs} home-scans"
+        + (f", {len(aggregate.failed)} failed" if aggregate.failed else "")
+    )
+    table = format_table(
+        title,
+        ["Firewall", "Homes", "Devices", "Discov.", "Respond", "Reach.", "TCP open", "UDP open", "Dropped", "Homes w/ reach"],
+        rows,
+    )
+
+    kind_rows = []
+    for stats in aggregate.per_firewall:
+        for kind in stats.by_addr_kind:
+            kind_rows.append([f"{stats.firewall}/{kind.kind}", kind.devices, kind.discoverable, kind.reachable])
+    lines = [table]
+    if kind_rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                "Discovery by address type (firewall/kind)",
+                ["Firewall/kind", "Devices", "Discoverable", "Reachable"],
+                kind_rows,
+            )
+        )
+    for home_id, firewall, error in aggregate.failed:
+        lines.append(f"FAILED home {home_id} [{firewall}]: {error}")
+    return "\n".join(lines)

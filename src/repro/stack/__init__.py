@@ -9,8 +9,17 @@ DHCPv4, ARP, a stub DNS resolver, and miniature UDP/TCP socket layers.
 NAT44, and IPv6 forwarding toward the simulated Internet.
 """
 
-from repro.stack.config import NetworkConfig, StackConfig
+from repro.stack.config import NetworkConfig, StackConfig, with_firewall
+from repro.stack.firewall import FIREWALL_MODES, FirewallV6
 from repro.stack.host import HostStack
 from repro.stack.router import Router
 
-__all__ = ["NetworkConfig", "StackConfig", "HostStack", "Router"]
+__all__ = [
+    "FIREWALL_MODES",
+    "FirewallV6",
+    "NetworkConfig",
+    "StackConfig",
+    "HostStack",
+    "Router",
+    "with_firewall",
+]

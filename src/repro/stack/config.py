@@ -8,18 +8,27 @@ configuration services the router offers in a given experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 @dataclass(frozen=True)
 class NetworkConfig:
-    """One row of Table 2: what the router offers on the LAN."""
+    """One row of Table 2: what the router offers on the LAN.
+
+    ``firewall`` selects the WAN-side IPv6 forwarding policy
+    (:mod:`repro.stack.firewall`): ``open`` (plain routed /64, the paper
+    testbed's behaviour), ``stateful`` (default-deny inbound) or ``pinhole``
+    (stateful plus UPnP/PCP-style per-device holes). Every Table-2
+    configuration can be crossed with every firewall mode via
+    :func:`with_firewall`.
+    """
 
     name: str
     ipv4: bool
     slaac_rdnss: bool
     stateless_dhcpv6: bool
     stateful_dhcpv6: bool
+    firewall: str = "open"
 
     @property
     def ipv6(self) -> bool:
@@ -28,6 +37,15 @@ class NetworkConfig:
     @property
     def dual_stack(self) -> bool:
         return self.ipv4 and self.ipv6
+
+
+def with_firewall(config: NetworkConfig, mode: str) -> NetworkConfig:
+    """Cross a Table-2 configuration with a WAN firewall mode."""
+    from repro.stack.firewall import FIREWALL_MODES
+
+    if mode not in FIREWALL_MODES:
+        raise ValueError(f"unknown firewall mode {mode!r} (known: {', '.join(FIREWALL_MODES)})")
+    return replace(config, firewall=mode)
 
 
 # The six connectivity experiments of Table 2.
@@ -95,6 +113,11 @@ class StackConfig:
     open_tcp_ports_v6: tuple = ()
     open_udp_ports_v4: tuple = ()
     open_udp_ports_v6: tuple = ()
+
+    # Inbound IPv6 holes the device asks its router for (UPnP/PCP-style);
+    # only honoured when the router firewall runs in ``pinhole`` mode.
+    pinhole_tcp_ports_v6: tuple = ()
+    pinhole_udp_ports_v6: tuple = ()
 
     def copy(self) -> "StackConfig":
         from dataclasses import replace

@@ -520,6 +520,14 @@ class HostStack(Node):
 
     def _rx_icmpv6(self, packet: IPv6, message: ICMPv6) -> None:
         t = message.icmp_type
+        if (
+            t in (TYPE_ROUTER_ADVERT, TYPE_NEIGHBOR_SOLICIT, TYPE_NEIGHBOR_ADVERT)
+            and packet.hop_limit != 255
+        ):
+            # RFC 4861 §6.1: NDP with a decremented hop limit crossed a
+            # router — discard it so WAN-injected RA/NS/NA forwarded onto the
+            # LAN cannot poison the neighbor cache or hijack the default route.
+            return
         if t == TYPE_ROUTER_ADVERT:
             self._process_ra(packet.src, message)
         elif t == TYPE_NEIGHBOR_SOLICIT and message.target is not None:

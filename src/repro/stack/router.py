@@ -74,6 +74,7 @@ from repro.net.udp import UDP
 from repro.sim.nic import Nic
 from repro.sim.node import Node
 from repro.stack.config import NetworkConfig
+from repro.stack.firewall import FirewallV6
 from repro.stack.neighbor import ResolutionCache
 
 if TYPE_CHECKING:
@@ -118,6 +119,7 @@ class Router(Node):
         self.config: Optional[NetworkConfig] = None
         self.neighbors = ResolutionCache()
         self.arp = ResolutionCache()
+        self.firewall = self._build_firewall("open")
 
         # DHCPv4 leases: MAC -> IPv4
         self._v4_leases: dict[MacAddress, ipaddress.IPv4Address] = {}
@@ -142,11 +144,15 @@ class Router(Node):
 
     # --------------------------------------------------------------- lifecycle
 
+    def _build_firewall(self, mode: str) -> FirewallV6:
+        return FirewallV6(mode, lambda: self.sim.now, lookup_mac=self.neighbors.lookup)
+
     def configure(self, config: NetworkConfig) -> None:
         """Apply one of the Table 2 configurations and restart services."""
         self.config = config
         self.neighbors.flush()
         self.arp.flush()
+        self.firewall = self._build_firewall(config.firewall)
         self._nat_out.clear()
         self._nat_in.clear()
         self._v6_leases.clear()
@@ -318,10 +324,16 @@ class Router(Node):
             self._deliver_lan_v6(packet)
         elif classify_address(dst) == AddressScope.GUA:
             forwarded = IPv6(packet.src, dst, packet.next_header, payload, hop_limit=packet.hop_limit - 1)
+            self.firewall.note_outbound(forwarded)
             self.internet.deliver_v6(forwarded)
 
     def _rx_icmpv6(self, src_mac: MacAddress, packet: IPv6, message: ICMPv6) -> None:
         t = message.icmp_type
+        if t in (TYPE_ROUTER_SOLICIT, TYPE_NEIGHBOR_SOLICIT, TYPE_NEIGHBOR_ADVERT) and packet.hop_limit != 255:
+            # RFC 4861 §6.1: NDP must arrive with hop limit 255, proving the
+            # packet crossed no router — forwarded (WAN-injected) RS/NS/NA
+            # must not reach the daemons or poison the neighbor table.
+            return
         if t == TYPE_ROUTER_SOLICIT:
             self.send_ra(solicited_by=src_mac)
         elif t == TYPE_NEIGHBOR_SOLICIT and message.target is not None and self._owns_v6(message.target):
@@ -336,10 +348,16 @@ class Router(Node):
         elif t == TYPE_ECHO_REQUEST and self._owns_v6(packet.dst):
             reply = ICMPv6.echo_reply(message.identifier, message.sequence, message.data)
             self._send_v6(packet.src, 58, reply, src=packet.dst)
-        elif t == TYPE_ECHO_REPLY:
+        elif t == TYPE_ECHO_REPLY and (self._owns_v6(packet.dst) or packet.dst in self.lan_v6_prefix):
             pass  # neighbor learned above; the scanner reads the table
         elif packet.dst in self.lan_v6_prefix and not self._owns_v6(packet.dst):
             self._deliver_lan_v6(packet)
+        elif classify_address(packet.dst) == AddressScope.GUA and not self._owns_v6(packet.dst):
+            # Off-link ICMPv6 (echo replies to Internet pingers, Port
+            # Unreachables for WAN probes) forwards like any other traffic.
+            forwarded = IPv6(packet.src, packet.dst, packet.next_header, message, hop_limit=packet.hop_limit - 1)
+            self.firewall.note_outbound(forwarded)
+            self.internet.deliver_v6(forwarded)
 
     def _send_v6(self, dst, next_header: int, transport, *, src=None, hop_limit: int = 64) -> None:
         src = src if src is not None else (self.v6_gua if classify_address(dst) == AddressScope.GUA else self.v6_lla)
@@ -368,9 +386,20 @@ class Router(Node):
         self.nic.send(Ethernet(multicast_mac(group), self.mac, ETHERTYPE_IPV6, packet))
 
     def from_wan_v6(self, packet: IPv6) -> None:
-        """Inbound IPv6 from the tunnel: route into the LAN."""
+        """Inbound IPv6 from the tunnel: route into the LAN.
+
+        The configured WAN firewall policy decides whether the packet is
+        forwarded: ``open`` passes everything, ``stateful`` only established
+        flows, ``pinhole`` additionally whatever holes devices registered.
+        """
         if packet.dst in self.lan_v6_prefix and not self._owns_v6(packet.dst):
+            if not self.firewall.permits_inbound(packet):
+                return
             self._deliver_lan_v6(packet)
+
+    def add_pinhole(self, mac: MacAddress, proto: int, port: int) -> None:
+        """Register a UPnP/PCP-style inbound allowance for one device."""
+        self.firewall.add_pinhole(mac, proto, port)
 
     # ----------------------------------------------------------------- DHCPv6
 

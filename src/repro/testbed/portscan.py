@@ -16,6 +16,7 @@ documented as a substitution in DESIGN.md.
 
 from __future__ import annotations
 
+import ipaddress
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -37,18 +38,27 @@ SCANNER_MAC = MacAddress("02:5c:a9:00:00:99")
 class ScanReport:
     """Open ports per device and protocol family."""
 
-    tcp_v4: dict[str, set] = field(default_factory=dict)
-    tcp_v6: dict[str, set] = field(default_factory=dict)
-    udp_v4: dict[str, set] = field(default_factory=dict)
-    udp_v6: dict[str, set] = field(default_factory=dict)
-    scanned_v6: set = field(default_factory=set)   # device names with >=1 v6 target
-    scanned_v4: set = field(default_factory=set)
+    tcp_v4: dict[str, set[int]] = field(default_factory=dict)
+    tcp_v6: dict[str, set[int]] = field(default_factory=dict)
+    udp_v4: dict[str, set[int]] = field(default_factory=dict)
+    udp_v6: dict[str, set[int]] = field(default_factory=dict)
+    scanned_v6: set[str] = field(default_factory=set)   # device names with >=1 v6 target
+    scanned_v4: set[str] = field(default_factory=set)
+    # the per-device v6 addresses the scan actually probed (neighbor-table
+    # discovery output; feeds the WAN-exposure cross-checks)
+    targets_v6: dict[str, set[ipaddress.IPv6Address]] = field(default_factory=dict)
 
-    def v4_only_tcp(self, name: str) -> set:
+    def v4_only_tcp(self, name: str) -> set[int]:
         return self.tcp_v4.get(name, set()) - self.tcp_v6.get(name, set())
 
-    def v6_only_tcp(self, name: str) -> set:
+    def v6_only_tcp(self, name: str) -> set[int]:
         return self.tcp_v6.get(name, set()) - self.tcp_v4.get(name, set())
+
+    def v4_only_udp(self, name: str) -> set[int]:
+        return self.udp_v4.get(name, set()) - self.udp_v6.get(name, set())
+
+    def v6_only_udp(self, name: str) -> set[int]:
+        return self.udp_v6.get(name, set()) - self.udp_v4.get(name, set())
 
 
 class PortScanner:
@@ -166,6 +176,7 @@ class PortScanner:
         v4_targets = self.discover_v4_targets()
         self.report.scanned_v6 = set(v6_targets)
         self.report.scanned_v4 = set(v4_targets)
+        self.report.targets_v6 = {name: set(addresses) for name, addresses in v6_targets.items()}
 
         probes: list[tuple] = []
         for device, addresses in sorted(v6_targets.items()):

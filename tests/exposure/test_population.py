@@ -1,0 +1,102 @@
+"""Spec generation, fleet aggregation, and report determinism."""
+
+import pytest
+
+from repro.exposure import (
+    ExposureSpec,
+    aggregate_exposure,
+    generate_exposure_specs,
+    run_exposure_fleet,
+    run_home_exposure,
+)
+from repro.fleet.runner import FleetResult, HomeResult
+from repro.reports import render_exposure
+
+
+def test_spec_generation_is_deterministic_and_paired():
+    a = generate_exposure_specs(3, seed=11, firewalls=("open", "stateful"))
+    b = generate_exposure_specs(3, seed=11, firewalls=("open", "stateful"))
+    assert a == b
+    assert len(a) == 6
+    # the same home population under every firewall mode (paired design)
+    open_specs = [s for s in a if s.firewall == "open"]
+    stateful_specs = [s for s in a if s.firewall == "stateful"]
+    for o, s in zip(open_specs, stateful_specs):
+        assert (o.home_id, o.sim_seed, o.device_names) == (s.home_id, s.sim_seed, s.device_names)
+    # ... and the same homes the rollout fleet would generate for this seed
+    c = generate_exposure_specs(3, seed=12, firewalls=("open",))
+    assert c[0].device_names != a[0].device_names or c[0].sim_seed != a[0].sim_seed
+
+
+def test_spec_generation_validates_inputs():
+    with pytest.raises(ValueError):
+        generate_exposure_specs(2, seed=1, firewalls=("bogus",))
+    with pytest.raises(ValueError):
+        generate_exposure_specs(2, seed=1, firewalls=())
+    with pytest.raises(ValueError):
+        generate_exposure_specs(2, seed=1, config_name="ipv4-only")
+
+
+def test_sort_key_orders_by_home_then_firewall():
+    spec = ExposureSpec(4, 1, "dual-stack", "stateful", ("Google TV",))
+    assert spec.sort_key == (4, "stateful")
+    assert spec.size == 1
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    specs = [
+        ExposureSpec(0, 7, "dual-stack", fw, ("Google TV", "Apple TV"))
+        for fw in ("open", "stateful")
+    ]
+    return run_exposure_fleet(specs, jobs=1)
+
+
+def test_aggregate_open_dominates_stateful(small_fleet):
+    aggregate = aggregate_exposure(small_fleet)
+    assert aggregate.total_runs == 2 and not aggregate.failed
+    open_stats = aggregate.stats_for("open")
+    stateful_stats = aggregate.stats_for("stateful")
+    # same population, weaker shield: open exposes at least as much
+    assert open_stats.devices == stateful_stats.devices
+    assert open_stats.discoverable_devices == stateful_stats.discoverable_devices
+    assert open_stats.reachable_devices >= stateful_stats.reachable_devices
+    assert open_stats.reachable_devices >= 1        # the EUI-64 TV
+    assert stateful_stats.reachable_devices == 0
+    assert stateful_stats.wan_dropped > 0
+    kinds = {k.kind for stats in aggregate.per_firewall for k in stats.by_addr_kind}
+    assert "eui64" in kinds and "privacy" in kinds
+
+
+def test_render_exposure_is_deterministic(small_fleet):
+    aggregate = aggregate_exposure(small_fleet)
+    text = render_exposure(aggregate)
+    assert text == render_exposure(aggregate_exposure(small_fleet))
+    assert "WAN exposure: dual-stack" in text
+    assert "stateful" in text and "open" in text
+    assert "Discovery by address type" in text
+
+
+def test_aggregate_reports_failures():
+    bad = ExposureSpec(1, 7, "ipv4-only", "open", ("Google TV",))
+    fleet = run_exposure_fleet([bad], jobs=1)
+    aggregate = aggregate_exposure(fleet)
+    assert aggregate.completed == 0
+    assert aggregate.failed[0][0] == 1 and aggregate.failed[0][1] == "open"
+    assert "FAILED home 1" in render_exposure(aggregate)
+
+
+def test_worker_results_sorted_by_sort_key():
+    specs = [
+        ExposureSpec(1, 7, "dual-stack", "stateful", ("Google TV",)),
+        ExposureSpec(0, 7, "dual-stack", "stateful", ("Google TV",)),
+        ExposureSpec(0, 7, "dual-stack", "open", ("Google TV",)),
+    ]
+    fleet = run_exposure_fleet(specs, jobs=1)
+    keys = [result.spec.sort_key for result in fleet.results]
+    assert keys == sorted(keys)
+    assert isinstance(fleet, FleetResult)
+    assert all(isinstance(result, HomeResult) and result.ok for result in fleet.results)
+    # the summary is the same object run_home_exposure would produce
+    direct = run_home_exposure(specs[2])    # (home 0, "open") sorts first
+    assert fleet.results[0].summary == direct

@@ -1,0 +1,223 @@
+"""The router's WAN-side IPv6 firewall and NDP hardening."""
+
+import ipaddress
+
+import pytest
+
+from repro.net.icmpv6 import ICMPv6
+from repro.net.ip6 import AddressScope
+from repro.net.ipv6 import IPv6
+from repro.net.mac import MacAddress
+from repro.net.packet import Raw
+from repro.net.tcp import FLAG_SYN, TCP
+from repro.net.udp import UDP
+from repro.stack import FIREWALL_MODES, FirewallV6, StackConfig, with_firewall
+from repro.stack.config import DUAL_STACK
+
+REMOTE = ipaddress.IPv6Address("2001:db8:feed::1")
+LAN_IP = ipaddress.IPv6Address("2001:db8:100::aa")
+DEVICE_MAC = MacAddress("02:aa:00:00:00:10")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def fw(mode: str, clock=None, **kwargs) -> FirewallV6:
+    return FirewallV6(mode, clock or FakeClock(), **kwargs)
+
+
+def inbound_tcp(port=8080, sport=4000):
+    return IPv6(REMOTE, LAN_IP, 6, TCP(sport, port, FLAG_SYN, seq=1), hop_limit=57)
+
+
+def inbound_udp(port=9999, sport=4001):
+    return IPv6(REMOTE, LAN_IP, 17, UDP(sport, port, Raw(b"x")), hop_limit=57)
+
+
+def inbound_echo(identifier=7):
+    return IPv6(REMOTE, LAN_IP, 58, ICMPv6.echo_request(identifier, 1), hop_limit=57)
+
+
+# ----------------------------------------------------------------- unit level
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        fw("paranoid")
+    assert FIREWALL_MODES == ("open", "stateful", "pinhole")
+
+
+def test_open_passes_everything():
+    firewall = fw("open")
+    for packet in (inbound_tcp(), inbound_udp(), inbound_echo()):
+        assert firewall.permits_inbound(packet)
+    assert firewall.passed == 3 and firewall.dropped == 0
+
+
+def test_stateful_drops_unsolicited():
+    firewall = fw("stateful")
+    for packet in (inbound_tcp(), inbound_udp(), inbound_echo()):
+        assert not firewall.permits_inbound(packet)
+    assert firewall.dropped == 3 and firewall.passed == 0
+
+
+def test_stateful_allows_established_flows():
+    firewall = fw("stateful")
+    firewall.note_outbound(IPv6(LAN_IP, REMOTE, 17, UDP(4001, 9999, Raw(b"q")), hop_limit=63))
+    firewall.note_outbound(IPv6(LAN_IP, REMOTE, 58, ICMPv6.echo_request(7, 1), hop_limit=63))
+    assert firewall.permits_inbound(IPv6(REMOTE, LAN_IP, 17, UDP(9999, 4001, Raw(b"r")), hop_limit=57))
+    reply = IPv6(REMOTE, LAN_IP, 58, ICMPv6.echo_reply(7, 1), hop_limit=57)
+    assert firewall.permits_inbound(reply)
+    # a different remote port is a different flow: still dropped
+    assert not firewall.permits_inbound(IPv6(REMOTE, LAN_IP, 17, UDP(9998, 4001, Raw(b"r")), hop_limit=57))
+
+
+def test_stateful_idle_timeout_expires_flows():
+    clock = FakeClock()
+    firewall = fw("stateful", clock, idle_timeout=30.0)
+    firewall.note_outbound(IPv6(LAN_IP, REMOTE, 17, UDP(4001, 9999, Raw(b"q")), hop_limit=63))
+    back = IPv6(REMOTE, LAN_IP, 17, UDP(9999, 4001, Raw(b"r")), hop_limit=57)
+    clock.now = 29.0
+    assert firewall.permits_inbound(back)       # alive, and refreshed at t=29
+    clock.now = 58.0
+    assert firewall.permits_inbound(back)       # refresh kept it alive
+    clock.now = 58.0 + 30.1
+    assert not firewall.permits_inbound(back)   # idled out
+
+
+def test_pinhole_allows_only_registered_port():
+    firewall = fw("pinhole", lookup_mac=lambda addr: DEVICE_MAC if addr == LAN_IP else None)
+    firewall.add_pinhole(DEVICE_MAC, 6, 8080)
+    assert firewall.permits_inbound(inbound_tcp(port=8080))
+    assert not firewall.permits_inbound(inbound_tcp(port=8081))
+    assert not firewall.permits_inbound(inbound_udp(port=8080))     # wrong proto
+    assert not firewall.permits_inbound(inbound_echo())             # no ICMP pinholes
+    # a destination the neighbor table cannot attribute gets nothing
+    other = IPv6(REMOTE, ipaddress.IPv6Address("2001:db8:100::bb"), 6, TCP(4000, 8080, FLAG_SYN, seq=1), hop_limit=57)
+    assert not firewall.permits_inbound(other)
+
+
+def test_stateful_property_and_flush():
+    firewall = fw("pinhole")
+    assert firewall.stateful and fw("stateful").stateful and not fw("open").stateful
+    firewall.add_pinhole(DEVICE_MAC, 6, 80)
+    firewall.note_outbound(IPv6(LAN_IP, REMOTE, 17, UDP(1, 2, Raw(b"")), hop_limit=63))
+    firewall.flush()
+    assert not firewall.pinholes()
+    assert not firewall.permits_inbound(IPv6(REMOTE, LAN_IP, 17, UDP(2, 1, Raw(b"")), hop_limit=57))
+
+
+# ------------------------------------------------------------ router wiring
+
+
+def host_config(**kwargs) -> StackConfig:
+    return StackConfig(iid_mode="eui64", **kwargs)
+
+
+class Collector:
+    """A WAN endpoint that records every packet routed out of the home."""
+
+    def __init__(self, internet, address=REMOTE):
+        self.reachable = True
+        self.packets = []
+        internet.attach_endpoint(address, self)
+
+    def handle(self, packet):
+        self.packets.append(packet)
+
+
+def gua_of(host):
+    return host.addrs.assigned(AddressScope.GUA)[0].address
+
+
+def test_router_configure_builds_firewall(lab):
+    assert lab.router.firewall.mode == "open"
+    lab.router.configure(with_firewall(DUAL_STACK, "stateful"))
+    assert lab.router.firewall.mode == "stateful"
+    with pytest.raises(ValueError):
+        with_firewall(DUAL_STACK, "bogus")
+
+
+def test_stateful_router_blocks_unsolicited_but_allows_replies(lab):
+    host = lab.host("cam", host_config(open_tcp_ports_v6=(8080,), open_udp_ports_v6=(5683,)))
+    lab.start(with_firewall(DUAL_STACK, "stateful"), host, settle=40.0)
+    collector = Collector(lab.internet)
+    gua = gua_of(host)
+
+    # unsolicited WAN SYN to a LAN-open port: dropped, no SYN-ACK comes back
+    lab.router.from_wan_v6(IPv6(REMOTE, gua, 6, TCP(4000, 8080, FLAG_SYN, seq=9), hop_limit=57))
+    lab.sim.run(5.0)
+    assert collector.packets == []
+    assert lab.router.firewall.dropped >= 1
+
+    # outbound UDP opens the conntrack hole; the reply is delivered
+    hits = []
+    host.udp_bind(4242, lambda src, sport, payload: hits.append(payload))
+    host.send_ipv6(REMOTE, 17, UDP(4242, 5000, Raw(b"ping")), mark_used=False)
+    lab.sim.run(2.0)
+    lab.router.from_wan_v6(IPv6(REMOTE, gua, 17, UDP(5000, 4242, Raw(b"pong")), hop_limit=57))
+    lab.sim.run(5.0)
+    assert len(hits) == 1
+
+
+def test_open_router_forwards_unsolicited(lab):
+    host = lab.host("cam", host_config(open_tcp_ports_v6=(8080,)))
+    lab.start(with_firewall(DUAL_STACK, "open"), host, settle=40.0)
+    collector = Collector(lab.internet)
+    gua = gua_of(host)
+    lab.router.from_wan_v6(IPv6(REMOTE, gua, 6, TCP(4000, 8080, FLAG_SYN, seq=9), hop_limit=57))
+    lab.sim.run(5.0)
+    synacks = [p for p in collector.packets if isinstance(p.payload, TCP) and p.payload.syn and p.payload.ack_flag]
+    assert len(synacks) == 1
+
+
+def test_pinhole_router_end_to_end(lab):
+    host = lab.host("cam", host_config(open_tcp_ports_v6=(8080, 8443)))
+    lab.start(with_firewall(DUAL_STACK, "pinhole"), host, settle=40.0)
+    collector = Collector(lab.internet)
+    gua = gua_of(host)
+    lab.router.add_pinhole(host.mac, 6, 8080)
+
+    lab.router.from_wan_v6(IPv6(REMOTE, gua, 6, TCP(4000, 8080, FLAG_SYN, seq=9), hop_limit=57))
+    lab.router.from_wan_v6(IPv6(REMOTE, gua, 6, TCP(4001, 8443, FLAG_SYN, seq=9), hop_limit=57))
+    lab.sim.run(5.0)
+    synacks = [p.payload.sport for p in collector.packets if isinstance(p.payload, TCP) and p.payload.syn and p.payload.ack_flag]
+    assert synacks == [8080]  # only the pinholed port answers
+
+
+# ------------------------------------------------------- NDP hardening (§6.1)
+
+
+def test_router_ignores_ndp_without_hop_limit_255(lab):
+    lab.start(DUAL_STACK, settle=5.0)
+    victim = ipaddress.IPv6Address("2001:db8:100::55")
+    spoofed_mac = MacAddress("02:66:66:66:66:66")
+    na = ICMPv6.neighbor_advert(victim, spoofed_mac, solicited=False, override=True)
+
+    # hop limit < 255 proves the NA crossed a router: must not be learned
+    lab.router._rx_ipv6(spoofed_mac, IPv6(REMOTE, lab.router.v6_gua, 58, na, hop_limit=64))
+    assert lab.router.neighbors.lookup(victim) is None
+
+    # the genuine on-link equivalent still works
+    lab.router._rx_ipv6(spoofed_mac, IPv6(REMOTE, lab.router.v6_gua, 58, na, hop_limit=255))
+    assert lab.router.neighbors.lookup(victim) == spoofed_mac
+
+
+def test_wan_injected_na_cannot_poison_host_neighbor_cache(lab):
+    host = lab.host("cam", host_config())
+    lab.start(with_firewall(DUAL_STACK, "open"), host, settle=40.0)
+    gua = gua_of(host)
+    victim = ipaddress.IPv6Address("2001:db8:100::55")
+    spoofed_mac = MacAddress("02:66:66:66:66:66")
+
+    # even with the firewall wide open, forwarding decrements the hop limit,
+    # so the host's RFC 4861 check rejects the advertisement
+    na = ICMPv6.neighbor_advert(victim, spoofed_mac, solicited=False, override=True)
+    lab.router.from_wan_v6(IPv6(REMOTE, gua, 58, na, hop_limit=255))
+    lab.sim.run(5.0)
+    assert host.neighbors.lookup(victim) is None

@@ -35,3 +35,16 @@ def test_fleet_command(capsys):
 def test_fleet_unknown_scenario(capsys):
     assert main(["fleet", "--homes", "1", "--scenario", "bogus"]) == 2
     assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_exposure_command(capsys):
+    assert main(["exposure", "--homes", "1", "--seed", "3", "--jobs", "1", "--firewall", "stateful"]) == 0
+    captured = capsys.readouterr()
+    assert "WAN exposure: dual-stack" in captured.out
+    assert "stateful" in captured.out
+    assert "Homes w/ reach" in captured.out
+
+
+def test_exposure_rejects_ipv4_only():
+    with pytest.raises(SystemExit):
+        main(["exposure", "--homes", "1", "--config", "ipv4-only"])
