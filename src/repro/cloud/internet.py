@@ -9,6 +9,7 @@ tap sees both directions exactly as the paper's tcpdump did.
 
 from __future__ import annotations
 
+import functools
 import ipaddress
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -193,6 +194,7 @@ class Internet:
         return query.response(authorities=[soa])
 
 
+@functools.lru_cache(maxsize=1 << 12)
 def _zone_of(name: str) -> str:
     parts = name.rstrip(".").split(".")
     return ".".join(parts[-2:]) if len(parts) >= 2 else name

@@ -83,6 +83,13 @@ class StudyAnalysis:
 
     @cached_property
     def indexes(self) -> dict[str, CaptureIndex]:
+        # The common case (metadata derived from the testbed profiles) shares
+        # the Study's per-experiment indexes with every other consumer, so the
+        # captures are parsed exactly once. Custom metadata (offline replay,
+        # ablations) changes device attribution, so those sessions index with
+        # their own MAC table.
+        if self.mac_table == self.study.mac_table:
+            return self.study.shared_indexes()
         return {
             name: CaptureIndex(result.records, self.mac_table)
             for name, result in self.study.experiments.items()

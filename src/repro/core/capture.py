@@ -34,7 +34,7 @@ from repro.net.ip6 import AddressScope, UNSPECIFIED, classify_address
 from repro.net.ipv4 import IPv4
 from repro.net.ipv6 import IPv6
 from repro.net.mac import MacAddress
-from repro.net.packet import DecodeError
+from repro.net.packet import DecodeError, has_tcp_decoder
 from repro.net.pcap import PcapRecord
 from repro.net.tcp import TCP
 from repro.net.tls import TLSClientHello
@@ -174,11 +174,16 @@ class CaptureIndex:
 
     def _ingest(self, record: PcapRecord) -> None:
         self.frame_count += 1
-        try:
-            frame = Ethernet.decode(record.data)
-        except DecodeError:
-            self.decode_errors += 1
-            return
+        # Live captures carry the frame decoded once at tap time; only
+        # records read back from pcap files (or synthesized in tests) still
+        # need a parse here.
+        frame = record.frame
+        if frame is None:
+            try:
+                frame = Ethernet.decode(record.data)
+            except DecodeError:
+                self.decode_errors += 1
+                return
         if frame.ethertype == ETHERTYPE_IPV6 and isinstance(frame.payload, IPv6):
             self._ingest_v6(record.timestamp, frame)
         elif frame.ethertype == ETHERTYPE_IPV4 and isinstance(frame.payload, IPv4):
@@ -262,48 +267,58 @@ class CaptureIndex:
         return dst in self.lan_v4 or dst == BROADCAST_V4 or dst.is_multicast
 
     def _ingest_udp(self, ts, sender, receiver, src_ip, dst_ip, datagram: UDP, family: int) -> None:
-        inner = datagram.payload
+        # Port checks come first so that datagrams the index only counts
+        # (app data, NTP) never pay the lazy application-payload parse;
+        # ``datagram.payload`` is touched only on the DNS/DHCP ports that
+        # actually need the parsed message.
+        dport, sport = datagram.dport, datagram.sport
         # DNS
-        if datagram.dport == 53 and isinstance(inner, DNS) and sender is not None and not inner.is_response:
-            question = inner.question
-            if question is not None:
-                self.dns_queries.append(DnsQuery(sender, question.name, question.qtype, family, ts, src_ip))
-                if family == 6:
-                    obs = self._address_obs(sender, src_ip, ts)
-                    obs.used_for_dns = True
-            return
-        if datagram.sport == 53 and isinstance(inner, DNS) and receiver is not None and inner.is_response:
-            question = inner.question
-            if question is not None:
-                answers = tuple(
-                    rr.rdata for rr in inner.answers if rr.rtype in (TYPE_A, TYPE_AAAA, TYPE_HTTPS, TYPE_SVCB)
-                )
-                self.dns_responses.append(
-                    DnsResponse(receiver, question.name, question.qtype, family, inner.rcode, answers, ts)
-                )
-            return
+        if dport == 53 and sender is not None:
+            inner = datagram.payload
+            if isinstance(inner, DNS) and not inner.is_response:
+                question = inner.question
+                if question is not None:
+                    self.dns_queries.append(DnsQuery(sender, question.name, question.qtype, family, ts, src_ip))
+                    if family == 6:
+                        obs = self._address_obs(sender, src_ip, ts)
+                        obs.used_for_dns = True
+                return
+        if sport == 53 and receiver is not None:
+            inner = datagram.payload
+            if isinstance(inner, DNS) and inner.is_response:
+                question = inner.question
+                if question is not None:
+                    answers = tuple(
+                        rr.rdata for rr in inner.answers if rr.rtype in (TYPE_A, TYPE_AAAA, TYPE_HTTPS, TYPE_SVCB)
+                    )
+                    self.dns_responses.append(
+                        DnsResponse(receiver, question.name, question.qtype, family, inner.rcode, answers, ts)
+                    )
+                return
         # DHCP
-        if isinstance(inner, DHCPv6) and sender is not None and datagram.dport == 547:
-            self.dhcp_events.append(DhcpEvent(sender, "dhcpv6", inner.msg_type, inner.has_ia_na, ts))
-            return
-        if isinstance(inner, DHCPv4) and sender is not None and datagram.dport == 67:
-            self.dhcp_events.append(DhcpEvent(sender, "dhcpv4", inner.msg_type, False, ts))
-            return
-        if datagram.dport in NON_DATA_UDP_PORTS or datagram.sport in NON_DATA_UDP_PORTS:
+        if dport == 547 and sender is not None:
+            inner = datagram.payload
+            if isinstance(inner, DHCPv6):
+                self.dhcp_events.append(DhcpEvent(sender, "dhcpv6", inner.msg_type, inner.has_ia_na, ts))
+                return
+        if dport == 67 and sender is not None:
+            inner = datagram.payload
+            if isinstance(inner, DHCPv4):
+                self.dhcp_events.append(DhcpEvent(sender, "dhcpv4", inner.msg_type, False, ts))
+                return
+        if dport in NON_DATA_UDP_PORTS or sport in NON_DATA_UDP_PORTS:
             return
         # NTP over IPv6 is the canonical "data without DNS" signal
-        if family == 6 and datagram.dport == 123 and sender is not None:
+        if family == 6 and dport == 123 and sender is not None:
             self.ntp_v6_devices.add(sender)
-        self._record_flow(ts, sender, receiver, src_ip, dst_ip, datagram.sport, datagram.dport, "udp", family, inner)
+        self._record_flow(ts, sender, receiver, src_ip, dst_ip, sport, dport, "udp", family, datagram)
 
     def _ingest_tcp(self, ts, sender, receiver, src_ip, dst_ip, segment: TCP, family: int) -> None:
-        self._record_flow(ts, sender, receiver, src_ip, dst_ip, segment.sport, segment.dport, "tcp", family, segment.payload)
+        self._record_flow(ts, sender, receiver, src_ip, dst_ip, segment.sport, segment.dport, "tcp", family, segment)
 
-    def _record_flow(self, ts, sender, receiver, src_ip, dst_ip, sport, dport, proto, family, inner) -> None:
-        payload_len = 0
-        if inner is not None:
-            encoded = inner.encode() if hasattr(inner, "encode") else b""
-            payload_len = len(encoded)
+    def _record_flow(self, ts, sender, receiver, src_ip, dst_ip, sport, dport, proto, family, transport) -> None:
+        # The wire length captured at decode time — no per-packet re-encode.
+        payload_len = transport.payload_wire_len
         if sender is not None:
             key = (sender, proto, family, src_ip, dst_ip, sport, dport)
             reverse = (sender, proto, family, dst_ip, src_ip, dport, sport)
@@ -315,8 +330,10 @@ class CaptureIndex:
                 )
                 self._flows[key] = flow
             flow.bytes_out += payload_len
-            if proto == "tcp" and isinstance(inner, TLSClientHello):
-                flow.sni = inner.server_name
+            if proto == "tcp" and payload_len and has_tcp_decoder(sport, dport):
+                inner = transport.payload
+                if isinstance(inner, TLSClientHello):
+                    flow.sni = inner.server_name
             if family == 6 and payload_len and not flow.is_local:
                 obs = self._address_obs(sender, src_ip, ts)
                 obs.used_for_data = True

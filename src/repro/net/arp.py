@@ -50,13 +50,15 @@ class ARP(Layer):
             raise DecodeError("ARP message too short")
         if data[0:2] != b"\x00\x01" or data[2:4] != b"\x08\x00":
             raise DecodeError("unsupported ARP hardware/protocol type")
-        return cls(
+        message = cls(
             int.from_bytes(data[6:8], "big"),
-            MacAddress(data[8:14]),
+            MacAddress.from_packed(data[8:14]),
             ipaddress.IPv4Address(data[14:18]),
-            MacAddress(data[18:24]),
+            MacAddress.from_packed(data[18:24]),
             ipaddress.IPv4Address(data[24:28]),
         )
+        message.wire_len = len(data)
+        return message
 
     def __repr__(self) -> str:
         kind = "request" if self.op == OP_REQUEST else "reply"

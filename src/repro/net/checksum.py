@@ -9,6 +9,7 @@ microseconds instead of tens of milliseconds.
 
 from __future__ import annotations
 
+import functools
 import ipaddress
 
 
@@ -25,14 +26,30 @@ def internet_checksum(data: bytes) -> int:
     return (~folded) & 0xFFFF
 
 
+# A flow's (src, dst, proto) triple repeats for every segment while only the
+# length varies, and ``ipaddress`` recomputes ``.packed`` on each access —
+# cache the fixed prefix per triple. Addresses are interned by the decoders,
+# so the key space stays small.
+
+
+@functools.lru_cache(maxsize=1 << 13)
+def _v4_pseudo_prefix(src: ipaddress.IPv4Address, dst: ipaddress.IPv4Address, proto: int) -> bytes:
+    return src.packed + dst.packed + bytes([0, proto])
+
+
+@functools.lru_cache(maxsize=1 << 13)
+def _v6_pseudo_prefix(src: ipaddress.IPv6Address, dst: ipaddress.IPv6Address) -> bytes:
+    return src.packed + dst.packed
+
+
 def ipv4_pseudo_header(src: ipaddress.IPv4Address, dst: ipaddress.IPv4Address, proto: int, length: int) -> bytes:
     """The IPv4 pseudo-header prepended for TCP/UDP checksums (RFC 793/768)."""
-    return src.packed + dst.packed + bytes([0, proto]) + length.to_bytes(2, "big")
+    return _v4_pseudo_prefix(src, dst, proto) + length.to_bytes(2, "big")
 
 
 def ipv6_pseudo_header(src: ipaddress.IPv6Address, dst: ipaddress.IPv6Address, next_header: int, length: int) -> bytes:
     """The IPv6 pseudo-header used by UDP, TCP and ICMPv6 (RFC 8200 §8.1)."""
-    return src.packed + dst.packed + length.to_bytes(4, "big") + b"\x00\x00\x00" + bytes([next_header])
+    return _v6_pseudo_prefix(src, dst) + length.to_bytes(4, "big") + b"\x00\x00\x00" + bytes([next_header])
 
 
 def transport_checksum(pseudo: bytes, segment: bytes) -> int:

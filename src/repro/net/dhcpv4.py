@@ -157,7 +157,9 @@ class DHCPv4(Layer):
             offset += 2 + length
         if msg_type == 0:
             raise DecodeError("DHCPv4 message lacks a message-type option")
-        return cls(op, xid, client_mac, msg_type=msg_type, yiaddr=yiaddr, dns_servers=dns_servers, **kwargs)
+        message = cls(op, xid, client_mac, msg_type=msg_type, yiaddr=yiaddr, dns_servers=dns_servers, **kwargs)
+        message.wire_len = len(data)
+        return message
 
     def __repr__(self) -> str:
         return f"DHCPv4({MSG_NAMES.get(self.msg_type, self.msg_type)}, {self.client_mac})"

@@ -203,6 +203,7 @@ class DHCPv6(Layer):
                     ipaddress.IPv6Address(body[i : i + 16]) for i in range(0, len(body) - 15, 16)
                 ]
             offset += 4 + length
+        message.wire_len = len(data)
         return message
 
     def __repr__(self) -> str:

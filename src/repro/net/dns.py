@@ -9,9 +9,12 @@ HTTPS/SVCB queries some Apple/Android devices issue.
 
 from __future__ import annotations
 
+import functools
 import ipaddress
 from typing import Optional
 
+from repro.net.ip6 import as_ipv6, intern_ipv6
+from repro.net.ipv4 import as_ipv4, intern_ipv4
 from repro.net.packet import DecodeError, Layer, register_udp_port, register_tcp_port
 
 TYPE_A = 1
@@ -43,7 +46,10 @@ TYPE_NAMES = {
 }
 
 
+@functools.lru_cache(maxsize=1 << 12)
 def _normalize(name: str) -> str:
+    # Every Question/ResourceRecord constructor runs this; the simulated
+    # Internet resolves a small, fixed set of names millions of times.
     return name.rstrip(".").lower()
 
 
@@ -146,11 +152,11 @@ class ResourceRecord:
 
     @classmethod
     def a(cls, name: str, address, ttl: int = 300) -> "ResourceRecord":
-        return cls(name, TYPE_A, ipaddress.IPv4Address(address), ttl)
+        return cls(name, TYPE_A, as_ipv4(address), ttl)
 
     @classmethod
     def aaaa(cls, name: str, address, ttl: int = 300) -> "ResourceRecord":
-        return cls(name, TYPE_AAAA, ipaddress.IPv6Address(address), ttl)
+        return cls(name, TYPE_AAAA, as_ipv6(address), ttl)
 
     @classmethod
     def cname(cls, name: str, target: str, ttl: int = 300) -> "ResourceRecord":
@@ -315,6 +321,7 @@ class DNS(Layer):
             for _ in range(count):
                 rr, offset = cls._decode_rr(data, offset)
                 section.append(rr)
+        message.wire_len = len(data)
         return message
 
     @staticmethod
@@ -332,9 +339,9 @@ class DNS(Layer):
         raw = data[offset : offset + rdlength]
         rdata: object
         if rtype == TYPE_A and rdlength == 4:
-            rdata = ipaddress.IPv4Address(raw)
+            rdata = intern_ipv4(raw)
         elif rtype == TYPE_AAAA and rdlength == 16:
-            rdata = ipaddress.IPv6Address(raw)
+            rdata = intern_ipv6(raw)
         elif rtype in (TYPE_CNAME, TYPE_NS, TYPE_PTR):
             rdata, _ = decode_name(data, offset)
         elif rtype == TYPE_SOA:

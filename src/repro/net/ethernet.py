@@ -16,8 +16,8 @@ class Ethernet(Layer):
     __slots__ = ("dst", "src", "ethertype", "payload")
 
     def __init__(self, dst: MacAddress, src: MacAddress, ethertype: int, payload: Layer | None = None):
-        self.dst = MacAddress(dst)
-        self.src = MacAddress(src)
+        self.dst = dst if isinstance(dst, MacAddress) else MacAddress(dst)
+        self.src = src if isinstance(src, MacAddress) else MacAddress(src)
         self.ethertype = ethertype
         self.payload = payload
 
@@ -29,8 +29,8 @@ class Ethernet(Layer):
     def decode(cls, data: bytes) -> "Ethernet":
         if len(data) < 14:
             raise DecodeError(f"Ethernet frame too short ({len(data)} bytes)")
-        dst = MacAddress(data[0:6])
-        src = MacAddress(data[6:12])
+        dst = MacAddress.from_packed(data[0:6])
+        src = MacAddress.from_packed(data[6:12])
         ethertype = int.from_bytes(data[12:14], "big")
         body = data[14:]
         decoder = ETHERTYPE_DECODERS.get(ethertype)
@@ -38,7 +38,9 @@ class Ethernet(Layer):
             payload: Layer = decoder(body)
         else:
             payload = Raw(body)
-        return cls(dst, src, ethertype, payload)
+        frame = cls(dst, src, ethertype, payload)
+        frame.wire_len = len(data)
+        return frame
 
     def __repr__(self) -> str:
         return f"Ethernet({self.src} > {self.dst}, type=0x{self.ethertype:04x})"

@@ -1,0 +1,81 @@
+"""A per-simulation decode cache for Ethernet frames.
+
+The testbed LAN delivers every multicast/broadcast frame to every NIC plus
+the promiscuous router, and the capture tap sees it too — historically each
+receiver parsed the raw bytes from scratch, so one RA flooded to 93 devices
+cost ~95 ``Ethernet.decode`` calls. ``FrameCache`` keys decoded frames on
+the immutable frame bytes so each distinct frame is parsed exactly once and
+the resulting layer chain is shared by every consumer.
+
+Sharing is safe because decoded frames are treated as immutable everywhere:
+receivers that need to alter a packet (the router forwarding with a lower
+hop limit, for instance) build a fresh layer object instead of mutating the
+received one. The cache is deterministic — a decoded frame is a pure
+function of its bytes — so serial and parallel fleet runs stay byte-
+identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.ethernet import Ethernet
+from repro.net.packet import DecodeError
+
+_MISSING = object()
+
+
+class FrameCache:
+    """Decode-once cache: frame bytes -> decoded :class:`Ethernet` (or None).
+
+    Undecodable frames cache as ``None`` so repeated garbage is rejected
+    without re-raising per consumer. ``capacity`` bounds the cache with
+    deterministic FIFO eviction (insertion order); the default is unbounded,
+    which for a study run costs one dict entry per captured frame — the same
+    order of retention as the capture itself.
+    """
+
+    __slots__ = ("_frames", "capacity", "hits", "misses", "decode_errors")
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self._frames: dict[bytes, Optional[Ethernet]] = {}
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.decode_errors = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def decode(self, data: bytes) -> Optional[Ethernet]:
+        """The decoded frame for ``data``, parsing at most once per content."""
+        frame = self._frames.get(data, _MISSING)
+        if frame is not _MISSING:
+            self.hits += 1
+            return frame
+        self.misses += 1
+        try:
+            frame = Ethernet.decode(data)
+        except DecodeError:
+            frame = None
+            self.decode_errors += 1
+        if self.capacity is not None and len(self._frames) >= self.capacity:
+            self._frames.pop(next(iter(self._frames)))
+        self._frames[data] = frame
+        return frame
+
+    def clear(self) -> None:
+        self._frames.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameCache(entries={len(self._frames)}, hits={self.hits}, "
+            f"misses={self.misses}, errors={self.decode_errors})"
+        )

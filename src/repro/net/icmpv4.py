@@ -65,6 +65,7 @@ class ICMPv4(Layer):
         else:
             message.data = data[8:]
         message.checksum_ok = internet_checksum(data) == 0
+        message.wire_len = len(data)
         return message
 
     def __repr__(self) -> str:

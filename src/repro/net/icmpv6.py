@@ -16,6 +16,7 @@ from typing import Optional
 from repro.net.checksum import ipv6_pseudo_header, transport_checksum
 from repro.net.ip6 import as_ipv6
 from repro.net.mac import MacAddress
+from repro.net.ip6 import intern_ipv6
 from repro.net.packet import DecodeError, Layer, register_ip_proto
 
 TYPE_DEST_UNREACHABLE = 1
@@ -386,7 +387,7 @@ class ICMPv6(Layer):
         elif icmp_type in (TYPE_NEIGHBOR_SOLICIT, TYPE_NEIGHBOR_ADVERT):
             if len(body) < 20:
                 raise DecodeError("NS/NA too short")
-            message.target = ipaddress.IPv6Address(body[4:20])
+            message.target = intern_ipv6(body[4:20])
             message.options = _decode_options(body[20:])
             if icmp_type == TYPE_NEIGHBOR_ADVERT:
                 message.router_flag = bool(body[0] & 0x80)
@@ -401,6 +402,7 @@ class ICMPv6(Layer):
             pseudo = ipv6_pseudo_header(src, dst, 58, len(data))
             recomputed = transport_checksum(pseudo, data[:2] + b"\x00\x00" + data[4:])
             message.checksum_ok = recomputed == wire_checksum
+        message.wire_len = len(data)
         return message
 
     def __repr__(self) -> str:

@@ -14,6 +14,7 @@ Implements the address machinery the paper analyzes:
 from __future__ import annotations
 
 import enum
+import functools
 import hashlib
 import ipaddress
 from typing import Union
@@ -54,8 +55,42 @@ def as_ipv6(value: AnyV6) -> ipaddress.IPv6Address:
     return ipaddress.IPv6Address(value)
 
 
+class _InternedIPv6Address(ipaddress.IPv6Address):
+    """An ``IPv6Address`` whose hash is computed once.
+
+    The stock ``__hash__`` rebuilds ``hash(hex(ip))`` on every dict probe;
+    interned addresses key the hot lookup tables (endpoints, neighbor
+    caches, flows), so the factory precomputes it. Equality, ordering and
+    formatting are inherited unchanged, so instances mix freely with plain
+    ``IPv6Address`` keys.
+    """
+
+    __slots__ = ("_hash",)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+@functools.lru_cache(maxsize=1 << 16)
+def intern_ipv6(packed: bytes) -> ipaddress.IPv6Address:
+    """An interned ``IPv6Address`` for 16 raw wire bytes.
+
+    A capture names the same few hundred addresses millions of times;
+    decoders route construction through here so each distinct address is
+    built (and its internal string/integer forms computed) once.
+    """
+    addr = _InternedIPv6Address(packed)
+    addr._hash = ipaddress.IPv6Address.__hash__(addr)
+    return addr
+
+
+@functools.lru_cache(maxsize=1 << 16)
 def classify_address(addr: AnyV6) -> AddressScope:
-    """Classify an IPv6 address into the paper's taxonomy."""
+    """Classify an IPv6 address into the paper's taxonomy.
+
+    Cached: classification is pure and the analysis pipeline asks about the
+    same addresses once per frame per consumer.
+    """
     a = as_ipv6(addr)
     if a == UNSPECIFIED:
         return AddressScope.UNSPECIFIED
@@ -148,14 +183,18 @@ def temporary_interface_id(rng_bytes: bytes) -> bytes:
     return bytes(iid)
 
 
+@functools.lru_cache(maxsize=1 << 14)
 def solicited_node_multicast(addr: AnyV6) -> ipaddress.IPv6Address:
-    """The solicited-node multicast group for a unicast address."""
+    """The solicited-node multicast group for a unicast address (cached:
+    every neighbor solicitation recomputes the same mapping)."""
     low24 = as_ipv6(addr).packed[13:]
     return ipaddress.IPv6Address(b"\xff\x02" + b"\x00" * 9 + b"\x01\xff" + low24)
 
 
+@functools.lru_cache(maxsize=1 << 14)
 def multicast_mac(addr: AnyV6) -> MacAddress:
-    """The Ethernet address an IPv6 multicast destination maps to."""
+    """The Ethernet address an IPv6 multicast destination maps to (cached:
+    recomputed for every multicast send)."""
     a = as_ipv6(addr)
     if not a.is_multicast:
         raise ValueError(f"{a} is not multicast")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 import ipaddress
 
 from repro.net.checksum import internet_checksum
@@ -16,6 +17,23 @@ def as_ipv4(value) -> ipaddress.IPv4Address:
     if isinstance(value, ipaddress.IPv4Address):
         return value
     return ipaddress.IPv4Address(value)
+
+
+class _InternedIPv4Address(ipaddress.IPv4Address):
+    """An ``IPv4Address`` with a precomputed hash (see ``_InternedIPv6Address``)."""
+
+    __slots__ = ("_hash",)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+@functools.lru_cache(maxsize=1 << 16)
+def intern_ipv4(packed: bytes) -> ipaddress.IPv4Address:
+    """An interned ``IPv4Address`` for 4 raw wire bytes (decode hot path)."""
+    addr = _InternedIPv4Address(packed)
+    addr._hash = ipaddress.IPv4Address.__hash__(addr)
+    return addr
 
 
 class IPv4(Layer):
@@ -64,8 +82,8 @@ class IPv4(Layer):
         total_length = int.from_bytes(data[2:4], "big")
         if total_length > len(data) or ihl < 20:
             raise DecodeError("IPv4 length fields inconsistent")
-        src = ipaddress.IPv4Address(data[12:16])
-        dst = ipaddress.IPv4Address(data[16:20])
+        src = intern_ipv4(data[12:16])
+        dst = intern_ipv4(data[16:20])
         proto = data[9]
         body = data[ihl:total_length]
         decoder = IP_PROTO_DECODERS.get(proto)
@@ -73,14 +91,17 @@ class IPv4(Layer):
             payload: Layer = decoder(body, src, dst)
         else:
             payload = Raw(body)
-        return cls(
-            src,
-            dst,
-            proto,
-            payload,
-            ttl=data[8],
-            identification=int.from_bytes(data[4:6], "big"),
-        )
+        # src/dst are already interned address objects, so skip __init__'s
+        # coercion on this hot path and set the slots directly.
+        packet = cls.__new__(cls)
+        packet.src = src
+        packet.dst = dst
+        packet.proto = proto
+        packet.ttl = data[8]
+        packet.identification = int.from_bytes(data[4:6], "big")
+        packet.payload = payload
+        packet.wire_len = total_length
+        return packet
 
     def __repr__(self) -> str:
         return f"IPv4({self.src} > {self.dst}, proto={self.proto})"

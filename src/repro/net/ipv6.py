@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import ipaddress
 
-from repro.net.ip6 import as_ipv6
+from repro.net.ip6 import as_ipv6, intern_ipv6
 from repro.net.packet import IP_PROTO_DECODERS, DecodeError, Layer, Raw, register_ethertype
 
 NEXT_HEADER_TCP = 6
@@ -68,8 +68,8 @@ class IPv6(Layer):
         payload_length = int.from_bytes(data[4:6], "big")
         next_header = data[6]
         hop_limit = data[7]
-        src = ipaddress.IPv6Address(data[8:24])
-        dst = ipaddress.IPv6Address(data[24:40])
+        src = intern_ipv6(data[8:24])
+        dst = intern_ipv6(data[24:40])
         body = data[40 : 40 + payload_length]
         if len(body) < payload_length:
             raise DecodeError("IPv6 payload truncated")
@@ -78,15 +78,18 @@ class IPv6(Layer):
             payload: Layer = decoder(body, src, dst)
         else:
             payload = Raw(body)
-        return cls(
-            src,
-            dst,
-            next_header,
-            payload,
-            hop_limit=hop_limit,
-            traffic_class=(first_word >> 20) & 0xFF,
-            flow_label=first_word & 0xFFFFF,
-        )
+        # src/dst are already interned address objects, so skip __init__'s
+        # coercion on this hot path and set the slots directly.
+        packet = cls.__new__(cls)
+        packet.src = src
+        packet.dst = dst
+        packet.next_header = next_header
+        packet.hop_limit = hop_limit
+        packet.traffic_class = (first_word >> 20) & 0xFF
+        packet.flow_label = first_word & 0xFFFFF
+        packet.payload = payload
+        packet.wire_len = 40 + payload_length
+        return packet
 
     def __repr__(self) -> str:
         return f"IPv6({self.src} > {self.dst}, nh={self.next_header})"

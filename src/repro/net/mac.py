@@ -12,11 +12,19 @@ import re
 
 _MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
 
+# Interning cache for decoded addresses: a LAN has a handful of distinct
+# MACs but every decoded frame names two of them, so the decode path reuses
+# one object per address instead of allocating per frame. Bounded as a
+# safety valve against hostile pcap input (a full table falls back to plain
+# construction rather than evicting).
+_INTERNED: dict[bytes, "MacAddress"] = {}
+_INTERN_LIMIT = 1 << 16
+
 
 class MacAddress:
     """An immutable 48-bit Ethernet hardware address."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_hash")
 
     BROADCAST: "MacAddress"
 
@@ -37,6 +45,19 @@ class MacAddress:
             self._value = value.to_bytes(6, "big")
         else:
             raise TypeError(f"cannot build MacAddress from {type(value).__name__}")
+        # MACs key the flow/device dicts in the capture index, so the hash is
+        # computed once up front rather than per lookup.
+        self._hash = hash(self._value)
+
+    @classmethod
+    def from_packed(cls, data: bytes) -> "MacAddress":
+        """An interned address for 6 raw wire bytes (the decode hot path)."""
+        mac = _INTERNED.get(data)
+        if mac is None:
+            mac = cls(data)
+            if len(_INTERNED) < _INTERN_LIMIT:
+                _INTERNED[data] = mac
+        return mac
 
     @property
     def packed(self) -> bytes:
@@ -78,7 +99,7 @@ class MacAddress:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._value)
+        return self._hash
 
     def __int__(self) -> int:
         return int.from_bytes(self._value, "big")

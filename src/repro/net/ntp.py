@@ -39,12 +39,14 @@ class NTP(Layer):
     def decode(cls, data: bytes) -> "NTP":
         if len(data) < 48:
             raise DecodeError("NTP packet too short")
-        return cls(
+        message = cls(
             mode=data[0] & 0x07,
             version=(data[0] >> 3) & 0x07,
             stratum=data[1],
             transmit_timestamp=int.from_bytes(data[40:48], "big"),
         )
+        message.wire_len = len(data)
+        return message
 
     def __repr__(self) -> str:
         kind = {MODE_CLIENT: "client", MODE_SERVER: "server"}.get(self.mode, self.mode)

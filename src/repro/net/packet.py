@@ -5,11 +5,24 @@ Each network layer encodes itself plus its payload; transport layers take the
 enclosing addresses so they can compute pseudo-header checksums. Decoding
 walks central dispatch registries (ethertype, IP protocol number, UDP/TCP
 port) that each protocol module populates at import time.
+
+Decode-once invariants (see DESIGN.md "Performance architecture"):
+
+- every decoder stamps ``wire_len`` — the number of wire bytes the layer
+  (including its payload) occupied — so consumers never re-encode a decoded
+  layer just to learn its size;
+- transport layers (UDP/TCP) decode their headers eagerly but defer the
+  application payload parse until first ``.payload`` access, using the
+  ``UNPARSED`` sentinel below.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
+
+# Sentinel stored by UDP/TCP decode in place of a payload that has not been
+# parsed yet; the raw body bytes are kept alongside and parsed on first use.
+UNPARSED = object()
 
 # Decode dispatch registries. Keys: ethertype; IP next-header/protocol
 # number; well-known UDP/TCP port. Values: callables taking the raw payload
@@ -29,6 +42,16 @@ class Layer:
     """Base class for every protocol layer."""
 
     payload: "Optional[Layer]" = None
+
+    # Number of wire bytes this layer (with payload) occupied when it was
+    # decoded; None for layers built in memory rather than parsed.
+    wire_len: Optional[int] = None
+
+    def wire_length(self) -> int:
+        """The layer's size in wire bytes, without re-encoding when known."""
+        if self.wire_len is not None:
+            return self.wire_len
+        return len(self.encode())
 
     def layers(self) -> "list[Layer]":
         """The chain of layers starting at this one."""
@@ -63,6 +86,7 @@ class Raw(Layer):
     def __init__(self, data: bytes = b""):
         self.data = data
         self.payload = None
+        self.wire_len = len(data)
 
     def encode(self) -> bytes:
         return self.data
@@ -93,13 +117,25 @@ def register_tcp_port(port: int, decoder: Callable) -> None:
     TCP_PORT_DECODERS[port] = decoder
 
 
+def has_udp_decoder(sport: int, dport: int) -> bool:
+    """True when either port has a registered application decoder."""
+    return sport in UDP_PORT_DECODERS or dport in UDP_PORT_DECODERS
+
+
+def has_tcp_decoder(sport: int, dport: int) -> bool:
+    """True when either port has a registered application decoder."""
+    return sport in TCP_PORT_DECODERS or dport in TCP_PORT_DECODERS
+
+
 def decode_udp_payload(sport: int, dport: int, data: bytes) -> Layer:
     """Best-effort parse of a UDP payload by well-known port."""
     for port in (dport, sport):
         decoder = UDP_PORT_DECODERS.get(port)
         if decoder is not None:
             try:
-                return decoder(data)
+                parsed = decoder(data)
+                parsed.wire_len = len(data)
+                return parsed
             except DecodeError:
                 break
     return Raw(data)
@@ -113,7 +149,9 @@ def decode_tcp_payload(sport: int, dport: int, data: bytes) -> Layer:
         decoder = TCP_PORT_DECODERS.get(port)
         if decoder is not None:
             try:
-                return decoder(data)
+                parsed = decoder(data)
+                parsed.wire_len = len(data)
+                return parsed
             except DecodeError:
                 break
     return Raw(data)

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import io
 import struct
-from dataclasses import dataclass
-from typing import BinaryIO, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import BinaryIO, Iterable, Iterator, Optional
 
 MAGIC = 0xA1B2C3D4
 MAGIC_SWAPPED = 0xD4C3B2A1
@@ -25,10 +25,22 @@ _RECORD_HEADER = struct.Struct("<IIII")
 
 @dataclass(frozen=True)
 class PcapRecord:
-    """One captured frame: a timestamp (seconds) and the raw bytes."""
+    """One captured frame: a timestamp (seconds) and the raw bytes.
+
+    ``frame`` optionally carries the already-decoded ``Ethernet`` view of
+    ``data`` (live captures attach it at tap time via the link's
+    :class:`~repro.net.framecache.FrameCache`), so the analysis pipeline
+    never re-parses a frame the simulation already decoded. It is a derived
+    cache: excluded from equality, dropped on pickling (workers re-decode
+    lazily), and always ``None`` for records read back from pcap files.
+    """
 
     timestamp: float
     data: bytes
+    frame: Optional[object] = field(default=None, compare=False, repr=False)
+
+    def __reduce__(self):
+        return (PcapRecord, (self.timestamp, self.data))
 
 
 class PcapWriter:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import ipaddress
 
 from repro.net.checksum import ipv4_pseudo_header, ipv6_pseudo_header, transport_checksum
-from repro.net.packet import DecodeError, Layer, decode_tcp_payload, register_ip_proto
+from repro.net.packet import UNPARSED, DecodeError, Layer, decode_tcp_payload, register_ip_proto
 
 FLAG_FIN = 0x01
 FLAG_SYN = 0x02
@@ -23,7 +23,7 @@ FLAG_ACK = 0x10
 class TCP(Layer):
     """A TCP segment (no options)."""
 
-    __slots__ = ("sport", "dport", "seq", "ack", "flags", "window", "payload", "checksum_ok")
+    __slots__ = ("sport", "dport", "seq", "ack", "flags", "window", "_payload", "_body", "_cksum_ok", "_cksum_ctx")
 
     def __init__(
         self,
@@ -41,8 +41,65 @@ class TCP(Layer):
         self.seq = seq
         self.ack = ack
         self.window = window
-        self.payload = payload
-        self.checksum_ok: bool | None = None
+        self._payload = payload
+        self._body: bytes | None = None
+        self._cksum_ok: bool | None = None
+        self._cksum_ctx: tuple | None = None
+
+    @property
+    def payload(self) -> Layer | None:
+        """The application layer, parsed from the wire body on first access."""
+        parsed = self._payload
+        if parsed is UNPARSED:
+            parsed = decode_tcp_payload(self.sport, self.dport, self._body)
+            self._payload = parsed
+        return parsed
+
+    @payload.setter
+    def payload(self, value: Layer | None) -> None:
+        self._payload = value
+
+    @property
+    def payload_bytes(self) -> bytes:
+        """The segment body's wire bytes without forcing an application parse."""
+        if self._payload is UNPARSED:
+            return self._body
+        return self._payload.encode() if self._payload is not None else b""
+
+    @property
+    def payload_wire_len(self) -> int:
+        """The body size in wire bytes, without parsing or re-encoding."""
+        if self._payload is UNPARSED:
+            return len(self._body)
+        if self._payload is None:
+            return 0
+        return self._payload.wire_length()
+
+    @property
+    def checksum_ok(self) -> bool | None:
+        """Wire-checksum verdict, verified lazily on first access.
+
+        The simulator itself never reads this (links are lossless), so the
+        decode hot path only records the raw segment and pseudo-header
+        inputs; the actual fold runs when a consumer asks.
+        """
+        ctx = self._cksum_ctx
+        if ctx is not None:
+            src, dst, data = ctx
+            self._cksum_ctx = None
+            wire_checksum = int.from_bytes(data[16:18], "big")
+            if isinstance(src, ipaddress.IPv6Address):
+                pseudo = ipv6_pseudo_header(src, dst, 6, len(data))
+            else:
+                pseudo = ipv4_pseudo_header(src, dst, 6, len(data))
+            recomputed = transport_checksum(pseudo, data[:16] + b"\x00\x00" + data[18:])
+            self._cksum_ok = recomputed == wire_checksum
+        return self._cksum_ok
+
+    @checksum_ok.setter
+    def checksum_ok(self, value: bool | None) -> None:
+        self._cksum_ctx = None
+        self._cksum_ok = value
 
     @property
     def syn(self) -> bool:
@@ -60,8 +117,30 @@ class TCP(Layer):
     def rst(self) -> bool:
         return bool(self.flags & FLAG_RST)
 
+    def with_ports(self, sport: int | None = None, dport: int | None = None) -> "TCP":
+        """A copy with rewritten ports, sharing the (lazy) payload state.
+
+        NAT-style translation must not mutate a decoded segment in place:
+        the decode-once pipeline shares one decoded object between every
+        consumer, including retained capture records.
+        """
+        clone = TCP.__new__(TCP)
+        clone.sport = self.sport if sport is None else sport
+        clone.dport = self.dport if dport is None else dport
+        clone.flags = self.flags
+        clone.seq = self.seq
+        clone.ack = self.ack
+        clone.window = self.window
+        clone._payload = self._payload
+        clone._body = self._body
+        clone._cksum_ok = self._cksum_ok
+        clone._cksum_ctx = None  # ports changed; the recorded inputs no longer apply
+        if self.wire_len is not None:
+            clone.wire_len = self.wire_len
+        return clone
+
     def _payload_bytes(self) -> bytes:
-        return self.payload.encode() if self.payload is not None else b""
+        return self.payload_bytes
 
     def _header(self, checksum: int = 0) -> bytes:
         return (
@@ -82,8 +161,9 @@ class TCP(Layer):
             pseudo = ipv6_pseudo_header(src, dst, 6, length)
         else:
             pseudo = ipv4_pseudo_header(src, dst, 6, length)
-        checksum = transport_checksum(pseudo, self._header(0) + body)
-        return self._header(checksum) + body
+        header = self._header(0)
+        checksum = transport_checksum(pseudo, header + body)
+        return header[:16] + checksum.to_bytes(2, "big") + header[18:] + body
 
     def encode(self) -> bytes:
         return self._header(0) + self._payload_bytes()
@@ -105,16 +185,12 @@ class TCP(Layer):
             seq=int.from_bytes(data[4:8], "big"),
             ack=int.from_bytes(data[8:12], "big"),
             window=int.from_bytes(data[14:16], "big"),
-            payload=decode_tcp_payload(sport, dport, body),
         )
+        segment._payload = UNPARSED
+        segment._body = body
+        segment.wire_len = len(data)
         if src is not None and dst is not None:
-            wire_checksum = int.from_bytes(data[16:18], "big")
-            if isinstance(src, ipaddress.IPv6Address):
-                pseudo = ipv6_pseudo_header(src, dst, 6, len(data))
-            else:
-                pseudo = ipv4_pseudo_header(src, dst, 6, len(data))
-            recomputed = transport_checksum(pseudo, data[:16] + b"\x00\x00" + data[18:])
-            segment.checksum_ok = recomputed == wire_checksum
+            segment._cksum_ctx = (src, dst, data)
         return segment
 
     def __repr__(self) -> str:

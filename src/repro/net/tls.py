@@ -95,7 +95,9 @@ class TLSClientHello(Layer):
             offset += 4 + ext_len
         if server_name is None:
             raise DecodeError("ClientHello lacks SNI")
-        return cls(server_name, random, ciphers)
+        hello = cls(server_name, random, ciphers)
+        hello.wire_len = len(data)
+        return hello
 
     def __repr__(self) -> str:
         return f"TLSClientHello(sni={self.server_name!r})"

@@ -1,26 +1,112 @@
-"""UDP (RFC 768) with v4/v6 pseudo-header checksums."""
+"""UDP (RFC 768) with v4/v6 pseudo-header checksums.
+
+Decoding is two-stage: the 8-byte header parses eagerly, but the application
+payload (DNS, DHCPv6, NTP, ...) parses lazily on first ``.payload`` access.
+Consumers that only need the size of the payload — flow accounting, port
+filters — read ``payload_wire_len`` and never pay the application parse.
+"""
 
 from __future__ import annotations
 
 import ipaddress
 
 from repro.net.checksum import ipv4_pseudo_header, ipv6_pseudo_header, transport_checksum
-from repro.net.packet import DecodeError, Layer, decode_udp_payload, register_ip_proto
+from repro.net.packet import UNPARSED, DecodeError, Layer, decode_udp_payload, register_ip_proto
 
 
 class UDP(Layer):
     """A UDP datagram."""
 
-    __slots__ = ("sport", "dport", "payload", "checksum_ok")
+    __slots__ = ("sport", "dport", "_payload", "_body", "_cksum_ok", "_cksum_ctx")
 
     def __init__(self, sport: int, dport: int, payload: Layer | None = None):
         self.sport = sport
         self.dport = dport
-        self.payload = payload
-        self.checksum_ok: bool | None = None
+        self._payload = payload
+        self._body: bytes | None = None
+        self._cksum_ok: bool | None = None
+        self._cksum_ctx: tuple | None = None
+
+    @property
+    def payload(self) -> Layer | None:
+        """The application layer, parsed from the wire body on first access."""
+        parsed = self._payload
+        if parsed is UNPARSED:
+            parsed = decode_udp_payload(self.sport, self.dport, self._body)
+            self._payload = parsed
+        return parsed
+
+    @payload.setter
+    def payload(self, value: Layer | None) -> None:
+        self._payload = value
+
+    @property
+    def payload_bytes(self) -> bytes:
+        """The payload's wire bytes without forcing an application parse."""
+        if self._payload is UNPARSED:
+            return self._body
+        return self._payload.encode() if self._payload is not None else b""
+
+    @property
+    def payload_wire_len(self) -> int:
+        """The payload size in wire bytes, without parsing or re-encoding."""
+        if self._payload is UNPARSED:
+            return len(self._body)
+        if self._payload is None:
+            return 0
+        return self._payload.wire_length()
+
+    @property
+    def checksum_ok(self) -> bool | None:
+        """Wire-checksum verdict, verified lazily on first access.
+
+        The simulator itself never reads this (links are lossless), so the
+        decode hot path only records the pseudo-header inputs; the actual
+        fold runs when a consumer asks.
+        """
+        ctx = self._cksum_ctx
+        if ctx is not None:
+            src, dst, wire_checksum = ctx
+            self._cksum_ctx = None
+            length = self.wire_len
+            if isinstance(src, ipaddress.IPv6Address):
+                pseudo = ipv6_pseudo_header(src, dst, 17, length)
+            else:
+                pseudo = ipv4_pseudo_header(src, dst, 17, length)
+            header = (
+                self.sport.to_bytes(2, "big")
+                + self.dport.to_bytes(2, "big")
+                + length.to_bytes(2, "big")
+                + b"\x00\x00"
+            )
+            self._cksum_ok = transport_checksum(pseudo, header + self._body) == wire_checksum
+        return self._cksum_ok
+
+    @checksum_ok.setter
+    def checksum_ok(self, value: bool | None) -> None:
+        self._cksum_ctx = None
+        self._cksum_ok = value
+
+    def with_ports(self, sport: int | None = None, dport: int | None = None) -> "UDP":
+        """A copy with rewritten ports, sharing the (lazy) payload state.
+
+        NAT-style translation must not mutate a decoded datagram in place:
+        the decode-once pipeline shares one decoded object between every
+        consumer, including retained capture records.
+        """
+        clone = UDP.__new__(UDP)
+        clone.sport = self.sport if sport is None else sport
+        clone.dport = self.dport if dport is None else dport
+        clone._payload = self._payload
+        clone._body = self._body
+        clone._cksum_ok = self._cksum_ok
+        clone._cksum_ctx = None  # ports changed; the recorded inputs no longer apply
+        if self.wire_len is not None:
+            clone.wire_len = self.wire_len
+        return clone
 
     def _payload_bytes(self) -> bytes:
-        return self.payload.encode() if self.payload is not None else b""
+        return self.payload_bytes
 
     def encode_transport(self, src, dst) -> bytes:
         body = self._payload_bytes()
@@ -62,14 +148,12 @@ class UDP(Layer):
             raise DecodeError("UDP length inconsistent")
         wire_checksum = int.from_bytes(data[6:8], "big")
         body = data[8:length]
-        udp = cls(sport, dport, decode_udp_payload(sport, dport, body))
+        udp = cls(sport, dport)
+        udp._payload = UNPARSED
+        udp._body = body
+        udp.wire_len = length
         if src is not None and dst is not None and wire_checksum != 0:
-            if isinstance(src, ipaddress.IPv6Address):
-                pseudo = ipv6_pseudo_header(src, dst, 17, length)
-            else:
-                pseudo = ipv4_pseudo_header(src, dst, 17, length)
-            recomputed = transport_checksum(pseudo, data[:6] + b"\x00\x00" + body)
-            udp.checksum_ok = recomputed == wire_checksum
+            udp._cksum_ctx = (src, dst, wire_checksum)
         return udp
 
     def __repr__(self) -> str:

@@ -30,6 +30,8 @@ class Event:
             self._sim = None
 
     def __lt__(self, other: "Event") -> bool:
+        # Heap entries are (time, seq, event) tuples so ordering resolves on
+        # the first two C-compared fields; kept for direct Event comparisons.
         return (self.time, self.seq) < (other.time, other.seq)
 
 
@@ -45,7 +47,7 @@ class Simulator:
     def __init__(self, seed: int = 0):
         self.now = 0.0
         self.seed = seed
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._sequence = itertools.count()
         self._rng = random.Random(seed)
         self._live = 0  # not-yet-fired, not-cancelled events (O(1) `pending`)
@@ -59,7 +61,7 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         event = Event(self.now + delay, next(self._sequence), callback, args, self)
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
         self._live += 1
         return event
 
@@ -69,8 +71,8 @@ class Simulator:
 
     def run_until(self, time: float) -> None:
         """Process events up to and including virtual time ``time``."""
-        while self._queue and self._queue[0].time <= time:
-            event = heapq.heappop(self._queue)
+        while self._queue and self._queue[0][0] <= time:
+            event = heapq.heappop(self._queue)[2]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -88,7 +90,7 @@ class Simulator:
         for _ in range(limit):
             if not self._queue:
                 return
-            event = heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)[2]
             if event.cancelled:
                 continue
             self._live -= 1

@@ -8,26 +8,43 @@ stays cheap. Capture taps see every frame (the simulation's tcpdump).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.framecache import FrameCache
 
 if TYPE_CHECKING:
+    from repro.net.ethernet import Ethernet
     from repro.sim.engine import Simulator
     from repro.sim.nic import Nic
 
 Tap = Callable[[float, bytes], None]
+FrameTap = Callable[[float, bytes, "Optional[Ethernet]"], None]
 
 
 class EthernetLink:
-    """A zero-loss switched segment."""
+    """A zero-loss switched segment.
 
-    def __init__(self, sim: "Simulator", latency: float = 0.0005, name: str = "lan"):
+    The link owns the simulation's :class:`FrameCache` (one LAN per
+    simulated home), so a frame's bytes are parsed exactly once no matter
+    how many NICs accept it or how many capture consumers observe it.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        latency: float = 0.0005,
+        name: str = "lan",
+        frame_cache: Optional[FrameCache] = None,
+    ):
         self.sim = sim
         self.latency = latency
         self.name = name
+        self.frames = frame_cache if frame_cache is not None else FrameCache()
         self._nics: list["Nic"] = []
         self._by_mac: dict[bytes, "Nic"] = {}
         self._promiscuous: list["Nic"] = []
         self._taps: list[Tap] = []
+        self._frame_taps: list[FrameTap] = []
 
     def attach(self, nic: "Nic") -> None:
         if nic in self._nics:
@@ -55,10 +72,26 @@ class EthernetLink:
     def remove_tap(self, tap: Tap) -> None:
         self._taps.remove(tap)
 
+    def add_frame_tap(self, tap: FrameTap) -> None:
+        """Register a decode-aware capture callback.
+
+        Called with ``(timestamp, raw bytes, decoded frame-or-None)``; the
+        decode goes through the shared :class:`FrameCache`, so NIC delivery
+        of the same frame costs nothing extra.
+        """
+        self._frame_taps.append(tap)
+
+    def remove_frame_tap(self, tap: FrameTap) -> None:
+        self._frame_taps.remove(tap)
+
     def transmit(self, sender: "Nic", frame: bytes) -> None:
         """Deliver ``frame`` after the link latency (one event per frame)."""
         for tap in self._taps:
             tap(self.sim.now, frame)
+        if self._frame_taps:
+            decoded = self.frames.decode(frame)
+            for frame_tap in self._frame_taps:
+                frame_tap(self.sim.now, frame, decoded)
         if len(frame) < 6:
             return
         self.sim.schedule(self.latency, self._deliver, sender, frame)

@@ -6,11 +6,13 @@ from typing import TYPE_CHECKING
 
 from repro.net.ethernet import Ethernet
 from repro.net.mac import MacAddress
-from repro.net.packet import DecodeError
 
 if TYPE_CHECKING:
     from repro.sim.link import EthernetLink
     from repro.sim.node import Node
+
+
+_BROADCAST_BYTES = b"\xff\xff\xff\xff\xff\xff"
 
 
 class Nic:
@@ -22,13 +24,21 @@ class Nic:
         self.link = link
         self.promiscuous = promiscuous
         self._multicast: set[MacAddress] = {MacAddress("33:33:00:00:00:01")}  # all-nodes
+        # Raw-byte mirrors of the filter state: delivery filters on frame
+        # bytes directly, so rejected frames never construct a MacAddress.
+        self._mac_bytes = self.mac.packed
+        self._multicast_bytes = {m.packed for m in self._multicast}
         link.attach(self)
 
     def join_multicast(self, mac: MacAddress) -> None:
-        self._multicast.add(MacAddress(mac))
+        mac = MacAddress(mac)
+        self._multicast.add(mac)
+        self._multicast_bytes.add(mac.packed)
 
     def leave_multicast(self, mac: MacAddress) -> None:
-        self._multicast.discard(MacAddress(mac))
+        mac = MacAddress(mac)
+        self._multicast.discard(mac)
+        self._multicast_bytes.discard(mac.packed)
 
     def send(self, frame: Ethernet) -> None:
         """Serialize and put a frame on the wire."""
@@ -43,15 +53,25 @@ class Nic:
         return dst in self._multicast
 
     def deliver(self, frame: bytes) -> None:
-        """Called by the link; filters by destination and hands up."""
+        """Called by the link; filters by destination and hands up.
+
+        Filtering happens on the raw destination bytes, so a NIC that drops
+        a frame never pays for decoding it; accepted frames decode through
+        the link's shared :class:`~repro.net.framecache.FrameCache`, so a
+        multicast flood is parsed once for the whole segment.
+        """
         if len(frame) < 14:
             return
-        dst = MacAddress(frame[0:6])
-        if not self.accepts(dst):
+        dst = frame[0:6]
+        if not (
+            self.promiscuous
+            or dst == self._mac_bytes
+            or dst in self._multicast_bytes
+            or dst == _BROADCAST_BYTES
+        ):
             return
-        try:
-            decoded = Ethernet.decode(frame)
-        except DecodeError:
+        decoded = self.link.frames.decode(frame)
+        if decoded is None:
             return
         self.node.handle_frame(self, decoded)
 

@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.net.ip6 import (
     AddressScope,
+    as_ipv6,
     classify_address,
     eui64_interface_id,
     from_prefix_and_iid,
@@ -47,6 +48,7 @@ class AddressManager:
         self._rng = rng
         self._stable_secret = stable_secret or bytes([mac.packed[i % 6] for i in range(16)])
         self.records: list[AddressRecord] = []
+        self._by_addr: dict[ipaddress.IPv6Address, AddressRecord] = {}
         self._dad_counters: dict = {}
 
     # -- interface-identifier generation -------------------------------------
@@ -64,12 +66,13 @@ class AddressManager:
     # -- record management ----------------------------------------------------
 
     def add(self, address, origin: str, iid_kind: str) -> AddressRecord:
-        address = ipaddress.IPv6Address(address)
+        address = as_ipv6(address)
         existing = self.get(address)
         if existing is not None:
             return existing
         record = AddressRecord(address, origin, iid_kind)
         self.records.append(record)
+        self._by_addr[address] = record
         return record
 
     def form(self, prefix, mode: str, origin: str = "slaac") -> AddressRecord:
@@ -78,15 +81,16 @@ class AddressManager:
         return self.add(from_prefix_and_iid(prefix, iid), origin, mode)
 
     def get(self, address) -> Optional[AddressRecord]:
-        address = ipaddress.IPv6Address(address)
-        for record in self.records:
-            if record.address == address:
-                return record
-        return None
+        # Called once per received IPv6 packet; decoded packets carry interned
+        # address objects, so the coercion must not re-parse those, and the
+        # lookup is a dict probe rather than a scan of the record list.
+        address = as_ipv6(address)
+        return self._by_addr.get(address)
 
     def remove(self, address) -> None:
-        address = ipaddress.IPv6Address(address)
+        address = as_ipv6(address)
         self.records = [r for r in self.records if r.address != address]
+        self._by_addr.pop(address, None)
 
     def owns(self, address, include_tentative: bool = False) -> bool:
         record = self.get(address)
@@ -123,3 +127,4 @@ class AddressManager:
 
     def flush(self) -> None:
         self.records.clear()
+        self._by_addr.clear()

@@ -61,7 +61,7 @@ from repro.net.ip6 import (
     multicast_mac,
     solicited_node_multicast,
 )
-from repro.net.ipv4 import IPv4
+from repro.net.ipv4 import IPv4, as_ipv4
 from repro.net.ipv6 import IPv6
 from repro.net.mac import MacAddress
 from repro.net.packet import Layer, Raw
@@ -154,6 +154,8 @@ class HostStack(Node):
         self.arp.flush()
         self.dns_servers.clear()
         self.ipv4_address = self.ipv4_gateway = self.ipv4_netmask = None
+        self._v4_network = None
+        self._v4_network_key = None
         self.default_router_lla = self.default_router_mac = None
         self.onlink_prefixes = []
         self.ra_seen = False
@@ -669,7 +671,7 @@ class HostStack(Node):
     def send_ipv4(self, dst, proto: int, transport: Layer) -> bool:
         if self.ipv4_address is None:
             return False
-        dst = ipaddress.IPv4Address(dst)
+        dst = as_ipv4(dst)
         packet = IPv4(self.ipv4_address, dst, proto, transport)
         if dst == BROADCAST_V4:
             self.nic.send(Ethernet(MacAddress.BROADCAST, self.mac, ETHERTYPE_IPV4, packet))
@@ -688,8 +690,15 @@ class HostStack(Node):
     def _v4_on_link(self, dst: ipaddress.IPv4Address) -> bool:
         if self.ipv4_netmask is None or self.ipv4_address is None:
             return False
-        network = ipaddress.IPv4Network((int(self.ipv4_address) & int(self.ipv4_netmask), str(self.ipv4_netmask)))
-        return dst in network
+        # The on-link network only changes with the DHCP lease; cache it so
+        # per-packet routing stops re-parsing the netmask string.
+        key = (self.ipv4_address, self.ipv4_netmask)
+        if self._v4_network_key != key:
+            self._v4_network = ipaddress.IPv4Network(
+                (int(self.ipv4_address) & int(self.ipv4_netmask), str(self.ipv4_netmask))
+            )
+            self._v4_network_key = key
+        return dst in self._v4_network
 
     def _tx_ipv4(self, packet: IPv4, dst_mac: MacAddress) -> None:
         self.nic.send(Ethernet(dst_mac, self.mac, ETHERTYPE_IPV4, packet))
@@ -705,8 +714,7 @@ class HostStack(Node):
     def tcp_request(self, dst, dport: int, requests: list[bytes], on_complete, on_fail, timeout: float = 10.0):
         """Open a TCP connection (family chosen by ``dst``), send each request
         payload in turn, collect responses, then close."""
-        dst_str = str(dst)
-        if ":" in dst_str:
+        if isinstance(dst, ipaddress.IPv6Address) or (isinstance(dst, str) and ":" in dst):
             dst6 = as_ipv6(dst)
             source = self.addrs.best_source(dst6)
             if source is None:
@@ -718,7 +726,7 @@ class HostStack(Node):
             on_fail("no-ipv4-address")
             return None
         return self.tcp4.connect(
-            self.ipv4_address, ipaddress.IPv4Address(dst), dport, requests, on_complete, on_fail, timeout=timeout
+            self.ipv4_address, as_ipv4(dst), dport, requests, on_complete, on_fail, timeout=timeout
         )
 
     # ---------------------------------------------------------------- UDP glue
@@ -729,8 +737,7 @@ class HostStack(Node):
     def udp_send(self, dst, dport: int, payload: Layer, sport: Optional[int] = None, src=None) -> bool:
         if sport is None:
             sport = self.rng.randint(32768, 60999)
-        dst_str = str(dst)
-        if ":" in dst_str:
+        if isinstance(dst, ipaddress.IPv6Address) or (isinstance(dst, str) and ":" in dst):
             return self.send_ipv6(dst, 17, UDP(sport, dport, payload), src=src)
         return self.send_ipv4(dst, 17, UDP(sport, dport, payload))
 

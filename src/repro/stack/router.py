@@ -270,8 +270,10 @@ class Router(Node):
             self._next_nat_port += 1
             self._nat_out[key] = public_port
             self._nat_in[(proto, public_port)] = (packet.src, sport)
-        payload.sport = public_port
-        translated = IPv4(self.wan_v4_address, packet.dst, packet.proto, payload, ttl=packet.ttl - 1)
+        # Copy-on-translate: the decoded datagram is shared with the capture
+        # pipeline via the frame cache, so NAT must not rewrite it in place.
+        translated_payload = payload.with_ports(sport=public_port)
+        translated = IPv4(self.wan_v4_address, packet.dst, packet.proto, translated_payload, ttl=packet.ttl - 1)
         self.internet.deliver_v4(translated)
 
     def from_wan_v4(self, packet: IPv4) -> None:
@@ -289,8 +291,8 @@ class Router(Node):
         if mapping is None:
             return
         device_ip, device_port = mapping
-        payload.dport = device_port
-        translated = IPv4(packet.src, device_ip, packet.proto, payload, ttl=packet.ttl - 1)
+        translated_payload = payload.with_ports(dport=device_port)
+        translated = IPv4(packet.src, device_ip, packet.proto, translated_payload, ttl=packet.ttl - 1)
         mac = self.arp.lookup(device_ip)
         if mac is None:
             mac = next((m for m, ip in self._v4_leases.items() if ip == device_ip), None)

@@ -95,7 +95,7 @@ class TcpConnection:
             self.state = "ESTABLISHED"
             self._next_request()
             return
-        payload = segment.payload.encode() if segment.payload is not None else b""
+        payload = segment.payload_bytes
         if payload:
             self.ack = (segment.ack and self.ack or self.ack)  # keep simple accounting
             self.ack = (segment.seq + len(payload)) & 0xFFFFFFFF
@@ -213,13 +213,13 @@ class TcpEngine:
                 return
             # Stray segment to a port with no connection: RST unless it is a
             # bare ACK completing a handshake we never saw.
-            if not segment.ack_flag or segment.fin or (segment.payload and segment.payload.encode()):
+            if not segment.ack_flag or segment.fin or segment.payload_bytes:
                 self._reply(local_ip, remote_ip, segment, FLAG_RST, segment.ack, 0)
             return
         if segment.rst:
             del self._server_conns[key]
             return
-        payload = segment.payload.encode() if segment.payload is not None else b""
+        payload = segment.payload_bytes
         if segment.syn:
             return
         conn.established = True

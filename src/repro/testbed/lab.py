@@ -50,20 +50,25 @@ class Testbed:
     # -- capture taps ---------------------------------------------------------
 
     def start_capture(self) -> list[PcapRecord]:
-        """Attach a tcpdump-style tap; returns the (live) record list."""
+        """Attach a tcpdump-style tap; returns the (live) record list.
+
+        Records retain the decoded frame alongside the raw bytes (decoded
+        once, via the link's frame cache), so the analysis pipeline never
+        re-parses the capture.
+        """
         records: list[PcapRecord] = []
 
-        def tap(timestamp: float, frame: bytes) -> None:
-            records.append(PcapRecord(timestamp, frame))
+        def tap(timestamp: float, data: bytes, frame) -> None:
+            records.append(PcapRecord(timestamp, data, frame))
 
-        self.link.add_tap(tap)
+        self.link.add_frame_tap(tap)
         self._active_tap = tap
         return records
 
     def stop_capture(self) -> None:
         tap = getattr(self, "_active_tap", None)
         if tap is not None:
-            self.link.remove_tap(tap)
+            self.link.remove_frame_tap(tap)
             self._active_tap = None
 
     # -- identity -------------------------------------------------------------

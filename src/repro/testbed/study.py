@@ -29,6 +29,7 @@ class Study:
     experiments: dict[str, ExperimentResult] = field(default_factory=dict)
     active_dns: dict[str, AaaaProbe] = field(default_factory=dict)
     port_scan: Optional[ScanReport] = None
+    _index_cache: Optional[dict] = field(default=None, repr=False, compare=False)
 
     @property
     def mac_table(self):
@@ -36,6 +37,25 @@ class Study:
 
     def experiment(self, name: str) -> ExperimentResult:
         return self.experiments[name]
+
+    def shared_indexes(self) -> dict:
+        """Per-experiment :class:`~repro.core.capture.CaptureIndex` objects,
+        built once per Study and shared by every consumer (``observed_domains``,
+        :class:`~repro.core.analysis.StudyAnalysis`). Captures are immutable
+        after an experiment completes, so the indexes never go stale."""
+        from repro.core.capture import CaptureIndex
+
+        if self._index_cache is None:
+            self._index_cache = {}
+        cache = self._index_cache
+        if len(cache) != len(self.experiments):
+            # Index any experiments appended since the cache was last touched
+            # (the study driver consumes indexes before the active phases run).
+            mac_table = self.mac_table
+            for name, result in self.experiments.items():
+                if name not in cache:
+                    cache[name] = CaptureIndex(result.records, mac_table)
+        return cache
 
     def export_pcaps(self, directory) -> list[Path]:
         """Write each experiment's capture as a standard pcap file."""
@@ -55,12 +75,12 @@ class Study:
 
 def observed_domains(study: Study) -> set[str]:
     """Domains seen in DNS queries or TLS SNI across all experiments —
-    the input set for the active AAAA probe (§4.3)."""
-    from repro.core.capture import CaptureIndex
+    the input set for the active AAAA probe (§4.3).
 
+    Reads the study's shared per-experiment indexes, so the captures are
+    parsed once for the whole pipeline rather than once per consumer."""
     names: set[str] = set()
-    for result in study.experiments.values():
-        index = CaptureIndex(result.records, study.mac_table)
+    for index in study.shared_indexes().values():
         names.update(q.name for q in index.dns_queries)
         names.update(flow.sni for flow in index.tcp_flows if flow.sni)
     return {n for n in names if not n.endswith(".lan") and not n.endswith(".local")}

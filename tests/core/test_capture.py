@@ -6,7 +6,7 @@ from repro.core.capture import CaptureIndex
 from repro.net import DNS, Ethernet, ICMPv6, IPv4, IPv6, MacAddress, Raw, TCP, UDP
 from repro.net.dns import ResourceRecord, TYPE_A, TYPE_AAAA
 from repro.net.ntp import NTP
-from repro.net.pcap import PcapRecord
+from repro.net.pcap import PcapRecord, dump_records, load_records
 from repro.net.tcp import FLAG_ACK, FLAG_PSH, FLAG_SYN
 from repro.net.tls import TLSClientHello
 
@@ -146,6 +146,49 @@ class TestFlows:
         index = CaptureIndex([PcapRecord(0.0, b"\x00" * 7)], MAC_TABLE)
         assert index.decode_errors == 1
         assert index.frame_count == 1
+
+
+class TestByteAccounting:
+    """Flow byte counts must equal the transport payload sizes on the wire.
+
+    Regression test for the decode-once pipeline: ``_record_flow`` used to
+    re-encode every payload to learn its length; it now reads the wire
+    length stamped at decode time, which must match the pcap bytes exactly.
+    """
+
+    ETH, V6, TCP_HDR, UDP_HDR = 14, 40, 20, 8
+
+    def _frames(self):
+        return [
+            v6(DEVICE_V6, CLOUD_V6, TCP(5000, 443, FLAG_PSH | FLAG_ACK, seq=1, payload=Raw(b"a" * 11))),
+            v6(DEVICE_V6, CLOUD_V6, TCP(5000, 443, FLAG_PSH | FLAG_ACK, seq=12, payload=Raw(b"b" * 321))),
+            v6(DEVICE_V6, CLOUD_V6, TCP(5000, 443, FLAG_ACK, seq=333)),  # bare ACK: zero payload
+            v6(DEVICE_V6, CLOUD_V6, UDP(6000, 9999, Raw(b"c" * 77))),
+        ]
+
+    def test_flow_bytes_match_pcap_payload_sizes(self):
+        # Round-trip through pcap so the index sees exactly the wire bytes.
+        records = load_records(dump_records([rec(f) for f in self._frames()]))
+        expected_tcp = sum(len(r.data) - self.ETH - self.V6 - self.TCP_HDR for r in records[:3])
+        expected_udp = len(records[3].data) - self.ETH - self.V6 - self.UDP_HDR
+
+        index = CaptureIndex(records, MAC_TABLE)
+        assert index.tcp_flows[0].bytes_out == expected_tcp == 332
+        assert index.udp_flows[0].bytes_out == expected_udp == 77
+
+    def test_live_records_count_the_same_as_pcap_records(self):
+        # Live captures carry the decoded frame; pcap re-reads decode fresh.
+        # Both paths must account identically.
+        frames = self._frames()
+        raw = [f.encode() for f in frames]
+        live = [PcapRecord(1.0, data, frame=Ethernet.decode(data)) for data in raw]
+        replayed = load_records(dump_records([PcapRecord(1.0, data) for data in raw]))
+
+        live_index = CaptureIndex(live, MAC_TABLE)
+        replay_index = CaptureIndex(replayed, MAC_TABLE)
+        live_flows = [(f.proto, f.bytes_out, f.bytes_in) for f in live_index.flows]
+        replay_flows = [(f.proto, f.bytes_out, f.bytes_in) for f in replay_index.flows]
+        assert live_flows == replay_flows
 
 
 class TestDhcpEvents:

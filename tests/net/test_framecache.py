@@ -1,0 +1,117 @@
+"""Unit tests for the decode-once FrameCache and its link integration."""
+
+import pytest
+
+from repro.net import Ethernet, MacAddress, Raw
+from repro.net.framecache import FrameCache
+from repro.net.ip6 import multicast_mac
+from repro.sim import EthernetLink, Nic, Node, Simulator
+
+MAC_A = MacAddress("02:00:00:00:00:0a")
+MAC_B = MacAddress("02:00:00:00:00:0b")
+
+
+def frame_bytes(payload=b"hello") -> bytes:
+    return Ethernet(MAC_B, MAC_A, 0x1234, Raw(payload)).encode()
+
+
+class TestFrameCache:
+    def test_second_decode_is_a_hit_and_shares_the_object(self):
+        cache = FrameCache()
+        data = frame_bytes()
+        first = cache.decode(data)
+        second = cache.decode(data)
+        assert first is second
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert len(cache) == 1
+
+    def test_distinct_frames_each_miss_once(self):
+        cache = FrameCache()
+        cache.decode(frame_bytes(b"one"))
+        cache.decode(frame_bytes(b"two"))
+        assert (cache.misses, cache.hits) == (2, 0)
+
+    def test_garbage_cached_as_none(self):
+        cache = FrameCache()
+        assert cache.decode(b"\x00" * 7) is None
+        assert cache.decode(b"\x00" * 7) is None
+        assert cache.decode_errors == 1  # the error is paid once, then cached
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_capacity_evicts_fifo(self):
+        cache = FrameCache(capacity=2)
+        first, second, third = (frame_bytes(bytes([i]) * 4) for i in range(3))
+        cache.decode(first)
+        cache.decode(second)
+        cache.decode(third)  # evicts `first` (insertion order)
+        assert len(cache) == 2
+        cache.decode(second)
+        cache.decode(first)
+        assert cache.hits == 1  # only `second` survived
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FrameCache(capacity=0)
+
+    def test_hit_rate(self):
+        cache = FrameCache()
+        assert cache.hit_rate == 0.0
+        data = frame_bytes()
+        cache.decode(data)
+        cache.decode(data)
+        cache.decode(data)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_clear_forgets_entries_not_counters(self):
+        cache = FrameCache()
+        data = frame_bytes()
+        cache.decode(data)
+        cache.clear()
+        cache.decode(data)
+        assert cache.misses == 2
+
+
+class Sink(Node):
+    def __init__(self, sim, name, mac, link):
+        super().__init__(sim, name)
+        self.received = []
+        self.nic = self.add_nic(Nic(self, MacAddress(mac), link))
+
+    def handle_frame(self, nic, frame):
+        self.received.append(frame)
+
+
+class TestMulticastFlood:
+    def test_flood_costs_exactly_one_decode(self):
+        """A multicast frame delivered to N NICs plus the capture tap parses once."""
+        sim = Simulator()
+        link = EthernetLink(sim)
+        sinks = [Sink(sim, f"s{i}", f"02:00:00:00:01:{i:02x}", link) for i in range(10)]
+        tapped = []
+        link.add_frame_tap(lambda ts, data, decoded: tapped.append(decoded))
+
+        sender = sinks[0]
+        flood = Ethernet(multicast_mac("ff02::1"), sender.nic.mac, 0x1234, Raw(b"ra"))
+        sender.nic.send(flood)
+        sim.run(1.0)
+
+        assert all(len(s.received) == 1 for s in sinks[1:])
+        assert link.frames.misses == 1  # the tap's decode populates the cache
+        assert link.frames.hits == len(sinks) - 1  # every NIC delivery reuses it
+        # every consumer shares the single decoded object
+        delivered = [s.received[0] for s in sinks[1:]] + tapped
+        assert all(f is delivered[0] for f in delivered)
+
+    def test_filtered_frames_never_decode(self):
+        """A NIC that drops a unicast frame by destination pays no parse."""
+        sim = Simulator()
+        link = EthernetLink(sim)
+        a = Sink(sim, "a", "02:00:00:00:00:0a", link)
+        b = Sink(sim, "b", "02:00:00:00:00:0b", link)
+        Sink(sim, "c", "02:00:00:00:00:0c", link)
+
+        a.nic.send(Ethernet(b.nic.mac, a.nic.mac, 0x1234, Raw(b"x")))
+        sim.run(1.0)
+
+        assert len(b.received) == 1
+        assert link.frames.misses + link.frames.hits == 1  # only b's accept decoded

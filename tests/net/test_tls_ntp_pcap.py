@@ -1,6 +1,7 @@
 """Tests for the TLS ClientHello, NTP, and pcap codecs."""
 
 import io
+import struct
 
 import pytest
 from hypothesis import given
@@ -93,6 +94,41 @@ class TestPcap:
         blob = dump_records([PcapRecord(1.0, b"\xaa" * 40)])
         with pytest.raises(ValueError):
             list(PcapReader(io.BytesIO(blob[:-5])))
+
+    def test_truncated_record_header_rejected(self):
+        blob = dump_records([PcapRecord(1.0, b"\xaa" * 40)])
+        cut = blob[:24 + 7]  # global header plus half a record header
+        with pytest.raises(ValueError, match="record header"):
+            list(PcapReader(io.BytesIO(cut)))
+
+    def test_truncated_global_header_rejected(self):
+        with pytest.raises(ValueError, match="global header"):
+            PcapReader(io.BytesIO(b"\xd4\xc3\xb2\xa1\x00\x02"))
+
+    @staticmethod
+    def _big_endian_blob(records):
+        # A capture as written on a big-endian machine: same layout, swapped
+        # byte order, detected via MAGIC_SWAPPED.
+        out = io.BytesIO()
+        out.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+        for record in records:
+            seconds = int(record.timestamp)
+            micros = int(round((record.timestamp - seconds) * 1_000_000))
+            out.write(struct.pack(">IIII", seconds, micros, len(record.data), len(record.data)))
+            out.write(record.data)
+        return out.getvalue()
+
+    def test_big_endian_round_trip(self):
+        records = [PcapRecord(1.5, b"\x01" * 60), PcapRecord(2.25, b"\x02" * 42)]
+        blob = self._big_endian_blob(records)
+        reader = PcapReader(io.BytesIO(blob))
+        assert reader.linktype == 1
+        assert list(reader) == records
+
+    def test_big_endian_truncated_record_rejected(self):
+        blob = self._big_endian_blob([PcapRecord(1.0, b"\xbb" * 30)])
+        with pytest.raises(ValueError, match="record body"):
+            list(PcapReader(io.BytesIO(blob[:-3])))
 
     def test_real_frames_survive(self):
         frame = Ethernet(MAC_B, MAC_A, 0x86DD) / IPv6("fe80::1", "ff02::1", 59)
