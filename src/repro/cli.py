@@ -12,6 +12,13 @@ Commands:
 - ``exposure`` scan N synthetic homes from the WAN under one or more router
   firewall modes and print the population attack surface (discoverable /
   reachable devices by address type)
+- ``faults``   run N synthetic homes under injected network impairments
+  (DNS outages, uplink flaps, RA suppression, ...) paired against clean runs
+  and print the degradation grid (unaffected / recovered / degraded /
+  bricked, with time-to-recover distributions)
+
+Fleet-style commands exit 2 when no work was generated (e.g. ``--homes 0``)
+and 1 when any home worker failed, after printing whatever completed.
 """
 
 from __future__ import annotations
@@ -22,6 +29,11 @@ import time
 
 TABLE_CHOICES = ["2", "3", "4", "5", "6", "7", "8", "9", "10", "12", "13"]
 FIGURE_CHOICES = ["2", "3", "4", "5"]
+
+# Mirrors repro.faults.population defaults (kept literal: the CLI must not
+# import simulation modules before a subcommand actually needs them).
+_DEFAULT_FAULT_CONFIGS = ("dual-stack", "ipv6-only")
+_DEFAULT_FAULT_NAMES = ("dns-blackout", "uplink-flap")
 
 
 def _positive_int(text: str) -> int:
@@ -85,7 +97,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="router firewall mode(s) to scan each home under",
     )
     exposure.add_argument("--timeout", type=float, default=None, help="per-scan wall-clock budget in seconds")
+
+    faults = sub.add_parser("faults", help="inject network impairments into a fleet, print the degradation grid")
+    faults.add_argument("--homes", type=_non_negative_int, default=4, help="number of synthetic homes")
+    faults.add_argument("--seed", type=int, default=42)
+    faults.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
+    faults.add_argument(
+        "--configs",
+        nargs="+",
+        default=list(_DEFAULT_FAULT_CONFIGS),
+        choices=[
+            "ipv4-only",
+            "ipv6-only",
+            "ipv6-only-rdnss",
+            "ipv6-only-stateful",
+            "dual-stack",
+            "dual-stack-stateful",
+        ],
+        help="network configuration(s) every home runs under",
+    )
+    faults.add_argument(
+        "--faults",
+        nargs="+",
+        default=list(_DEFAULT_FAULT_NAMES),
+        metavar="PRESET",
+        help="fault preset(s) to inject (e.g. dns-blackout, uplink-flap, v6-brownout, flaky-lan)",
+    )
+    faults.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
     return parser
+
+
+def _no_work(what: str) -> int:
+    """Uniform handling for fleet commands that generated nothing to run."""
+    print(f"error: nothing to run — {what}", file=sys.stderr)
+    return 2
+
+
+def _fleet_exit(fleet) -> int:
+    """Exit code for a completed fleet: 0 clean, 1 when any worker failed."""
+    failures = fleet.failures
+    if not failures:
+        return 0
+    print(f"error: {len(failures)}/{len(fleet.results)} home run(s) failed:", file=sys.stderr)
+    for result in failures:
+        last_line = (result.error or "unknown error").strip().splitlines()[-1]
+        print(f"  home {getattr(result.spec, 'home_id', '?')}: {last_line}", file=sys.stderr)
+    return 1
 
 
 def _run_study(seed: int, with_scan: bool = True):
@@ -162,6 +219,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
         specs = generate_fleet(args.homes, seed=args.seed, scenario=scenario)
+        if not specs:
+            return _no_work("--homes 0 generates an empty fleet")
         print(
             f"simulating {len(specs)} homes (scenario={scenario.name}, "
             f"seed={args.seed}, jobs={args.jobs}) ...",
@@ -176,7 +235,7 @@ def main(argv: list[str] | None = None) -> int:
         fleet = run_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=progress)
         print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
         print(render_fleet_summary(aggregate_fleet(fleet)))
-        return 0
+        return _fleet_exit(fleet)
 
     if args.command == "exposure":
         from repro.exposure import aggregate_exposure, generate_exposure_specs, run_exposure_fleet
@@ -185,6 +244,8 @@ def main(argv: list[str] | None = None) -> int:
         specs = generate_exposure_specs(
             args.homes, seed=args.seed, config_name=args.config, firewalls=tuple(args.firewall)
         )
+        if not specs:
+            return _no_work("--homes 0 generates an empty scan fleet")
         print(
             f"WAN-scanning {args.homes} homes x {len(args.firewall)} firewall mode(s) "
             f"(config={args.config}, seed={args.seed}, jobs={args.jobs}) ...",
@@ -202,7 +263,42 @@ def main(argv: list[str] | None = None) -> int:
         fleet = run_exposure_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=scan_progress)
         print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
         print(render_exposure(aggregate_exposure(fleet)))
-        return 0
+        return _fleet_exit(fleet)
+
+    if args.command == "faults":
+        from repro.faults import aggregate_faults, generate_fault_specs, run_fault_fleet
+        from repro.reports import render_faults
+
+        try:
+            specs = generate_fault_specs(
+                args.homes,
+                seed=args.seed,
+                config_names=tuple(args.configs),
+                fault_names=tuple(args.faults),
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if not specs:
+            return _no_work("--homes 0 generates an empty fault fleet")
+        print(
+            f"injecting {len(args.faults)} fault(s) into {args.homes} homes x "
+            f"{len(args.configs)} config(s) (seed={args.seed}, jobs={args.jobs}) ...",
+            file=sys.stderr,
+        )
+
+        def fault_progress(done, total, result):
+            status = "ok" if result.ok else "FAILED"
+            print(
+                f"  home {result.spec.home_id:4d} [{result.spec.config_name}] [{done}/{total}] {status}",
+                file=sys.stderr,
+            )
+
+        start = time.time()
+        fleet = run_fault_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=fault_progress)
+        print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+        print(render_faults(aggregate_faults(fleet)))
+        return _fleet_exit(fleet)
 
     if args.command == "pcap":
         study, _ = _run_study(args.seed, with_scan=False)

@@ -25,7 +25,7 @@ from repro.net.dns import (
 from repro.net.ipv4 import IPv4
 from repro.net.ipv6 import IPv6
 from repro.net.ntp import MODE_SERVER, NTP
-from repro.net.packet import Layer, Raw
+from repro.net.packet import Layer
 from repro.net.tcp import TCP
 from repro.net.tls import TLSClientHello
 from repro.net.udp import UDP

@@ -8,7 +8,7 @@ data transmission, DHCPv6 activity, functionality).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from functools import cached_property
 from typing import Iterable, Optional
 

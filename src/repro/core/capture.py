@@ -16,7 +16,7 @@ the paper attributed tcpdump output.
 from __future__ import annotations
 
 import ipaddress
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.net.dhcpv4 import DHCPv4

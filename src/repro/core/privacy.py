@@ -14,15 +14,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.cloud.parties import SUPPORT_SLDS as _SUPPORT, TRACKER_SLDS as _TRACKERS
-from repro.core.addressing import collect_addresses, eui64_usage
+from repro.core.addressing import eui64_usage
 from repro.core.analysis import (
-    DUAL_STACK_EXPERIMENTS,
-    IPV6_ONLY_EXPERIMENTS,
     StudyAnalysis,
     V6_ENABLED_EXPERIMENTS,
 )
 from repro.net.dns import TYPE_A, TYPE_AAAA
-from repro.net.ip6 import AddressScope, classify_address, mac_from_eui64
 
 if TYPE_CHECKING:
     from repro.exposure.wanscan import WanScanResult

@@ -13,7 +13,6 @@ alone.
 
 from __future__ import annotations
 
-import ipaddress
 from typing import Callable, Optional
 
 from repro.devices.portfolio import build_portfolio
@@ -111,9 +110,7 @@ class IoTDevice:
             gua_iid_mode=p.gua_iid_mode,
             temporary_addr_count=gua_count,
             temporary_spread=60.0 if (p.gua_rotation_fast or not network.ipv6 or network.ipv4) else 800.0,
-            temporary_start=5.0
-            if p.gua_rotation_fast
-            else (30.0 if network.ipv4 else 250.0),
+            temporary_start=5.0 if p.gua_rotation_fast else (30.0 if network.ipv4 else 250.0),
             lla_rotations=lla_rotations,
             form_ula=phase.ula,
             ula_prefix_seed=p.slug,
@@ -125,6 +122,9 @@ class IoTDevice:
             use_dhcpv6_address=p.use_dhcpv6_address,
             accept_rdnss=p.accept_rdnss,
             dns_over_ipv6=phase.dns_v6,
+            dns_retry_budget=p.dns_retry_budget,
+            dns_backoff_base=p.dns_backoff_base,
+            dns_backoff_jitter=p.dns_backoff_jitter,
             open_tcp_ports_v4=p.open_tcp_v4,
             open_tcp_ports_v6=p.open_tcp_v6,
             open_udp_ports_v4=p.open_udp_v4,
@@ -244,13 +244,35 @@ class IoTDevice:
         answers = msg.answers_of_type(TYPE_AAAA) if msg is not None else []
         if not answers or not want_data:
             return
-        self._tcp_flow(answers[0].rdata, plan, volume or 800, lambda ok: None)
+        self._tcp_flow(
+            answers[0].rdata, plan, volume or 800, lambda ok, p=plan: None if ok else self._fallback_v4(p)
+        )
 
     def _flow_v6_literal(self, plan: DomainPlan) -> None:
         record = self.internet.registry.lookup(plan.name)
         if record is None or not record.aaaa_records:
             return
-        self._tcp_flow(record.aaaa_records[0], plan, plan.bytes_v6 or 800, lambda ok: None)
+        self._tcp_flow(
+            record.aaaa_records[0], plan, plan.bytes_v6 or 800, lambda ok, p=plan: None if ok else self._fallback_v4(p)
+        )
+
+    def _fallback_v4(self, plan: DomainPlan) -> None:
+        """Happy-eyeballs-style rescue: a failed IPv6 flow retries over IPv4.
+
+        Only dual-stack devices with a live IPv4 lease and an A record for
+        the destination fall back; IPv6-only homes have nowhere to go — the
+        functionality loss the paper observed under broken v6.
+        """
+        p = self.profile
+        network = self.network
+        if not p.happy_eyeballs or network is None or not network.ipv4:
+            return
+        if self.stack.ipv4_address is None or not plan.has_a:
+            return
+        metrics = self.stack.metrics
+        metrics.fallbacks += 1
+        metrics.fallback_times.append(self.sim.now)
+        self.sim.schedule(p.v6_fallback_delay, self._flow_v4, plan)
 
     def _tcp_flow(self, address, plan: DomainPlan, volume: int, done: Callable[[bool], None]) -> None:
         hello = TLSClientHello(plan.name, random=self.rng.getrandbits(256).to_bytes(32, "big")).encode()
@@ -263,13 +285,20 @@ class IoTDevice:
             chunk = min(remaining, 30_000)
             requests.append(b"\x17\x03\x03" + chunk.to_bytes(2, "big") + bytes(chunk))
             remaining -= chunk
-        self.stack.tcp_request(
-            address,
-            APP_PORT,
-            requests,
-            on_complete=lambda responses: done(True),
-            on_fail=lambda reason: done(False),
-        )
+        metrics = self.stack.metrics
+        metrics.flow_attempts += 1
+
+        def on_complete(responses):
+            metrics.flow_successes += 1
+            metrics.flow_success_times.append(self.sim.now)
+            done(True)
+
+        def on_fail(reason):
+            metrics.flow_failures += 1
+            metrics.flow_failure_times.append(self.sim.now)
+            done(False)
+
+        self.stack.tcp_request(address, APP_PORT, requests, on_complete=on_complete, on_fail=on_fail)
 
     def _ntp_v6(self) -> None:
         if self._has_any_v6():

@@ -13,7 +13,7 @@ choices made here are documented in DESIGN.md §4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.devices.profile import Category, DeviceProfile, Phase, PortfolioSpec
 from repro.net.mac import MacAddress

@@ -1,0 +1,223 @@
+"""Population-scale fault analytics.
+
+Crosses the fleet generator's synthetic homes with network configs and fault
+presets and answers the subsystem's headline question: *which impairments
+brick which homes, and how fast do the survivors recover?* Home generation
+uses common random numbers (the portfolio stream never sees the config or
+the fault), so every (config, fault) column describes the **same homes** —
+paired counterfactuals, not resampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.faults.analysis import CellOutcome, HomeFaultSummary, OUTCOMES, run_home_faults
+from repro.faults.schedule import get_fault
+from repro.fleet.runner import FleetResult, ProgressFn, run_fleet
+from repro.fleet.scenario import RolloutScenario, generate_fleet
+from repro.testbed.study import resolve_config
+
+DEFAULT_FAULTS = ("dns-blackout", "uplink-flap")
+DEFAULT_CONFIGS = ("dual-stack", "ipv6-only")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One (home, config) cell: a seeded, picklable simulator input.
+
+    The worker runs the clean baseline once and then every fault in
+    ``fault_names`` against the same seed, so grouping faults per spec keeps
+    each baseline from being recomputed per fault.
+    """
+
+    home_id: int
+    sim_seed: int
+    config_name: str
+    device_names: tuple[str, ...]
+    fault_names: tuple[str, ...]
+    checkins: int = 2
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.home_id, self.config_name)
+
+    @property
+    def size(self) -> int:
+        return len(self.device_names)
+
+
+def generate_fault_specs(
+    homes: int,
+    *,
+    seed: int,
+    config_names: Sequence[str] = DEFAULT_CONFIGS,
+    fault_names: Sequence[str] = DEFAULT_FAULTS,
+    checkins: int = 2,
+) -> list[FaultSpec]:
+    """Sample ``homes`` synthetic homes and cross them with configs x faults.
+
+    The home population is drawn once (via the fleet generator's
+    scenario-independent streams) and shared by every config column.
+    """
+    if not config_names:
+        raise ValueError("need at least one network config")
+    if not fault_names:
+        raise ValueError("need at least one fault preset")
+    configs = [resolve_config(name) for name in config_names]
+    for fault_name in fault_names:
+        get_fault(fault_name)  # raises on unknown presets before any work
+
+    scenario = RolloutScenario(name="faults", config_mix=((configs[0].name, 1.0),))
+    population = generate_fleet(homes, seed=seed, scenario=scenario)
+    return [
+        FaultSpec(
+            home_id=home.home_id,
+            sim_seed=home.sim_seed,
+            config_name=config.name,
+            device_names=home.device_names,
+            fault_names=tuple(fault_names),
+            checkins=checkins,
+        )
+        for home in population
+        for config in configs
+    ]
+
+
+def run_fault_fleet(
+    specs: Sequence[FaultSpec],
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+) -> FleetResult:
+    """Run every (home, config) cell; results ordered by ``sort_key``."""
+    return run_fleet(specs, jobs=jobs, timeout=timeout, progress=progress, worker=run_home_faults)
+
+
+# ------------------------------------------------------------- aggregation
+
+
+@dataclass(frozen=True)
+class TtrStats:
+    """Time-to-recover distribution over one population cell (seconds)."""
+
+    count: int = 0
+    minimum: float = 0.0
+    median: float = 0.0
+    maximum: float = 0.0
+
+    @staticmethod
+    def of(samples: Sequence[float]) -> "TtrStats":
+        if not samples:
+            return TtrStats()
+        ordered = sorted(samples)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            median = ordered[mid]
+        else:
+            median = (ordered[mid - 1] + ordered[mid]) / 2.0
+        return TtrStats(count=len(ordered), minimum=ordered[0], median=median, maximum=ordered[-1])
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Population outcome counts for one (config, fault) cell."""
+
+    config_name: str
+    fault: str
+    homes: int
+    devices: int
+    unaffected: int
+    recovered: int
+    degraded: int
+    bricked: int
+    dns_retries: int
+    dns_timeouts: int
+    flow_failures: int
+    fallbacks: int
+    ttr: TtrStats
+
+    @property
+    def affected(self) -> int:
+        return self.devices - self.unaffected
+
+    @property
+    def bricked_fraction(self) -> float:
+        return self.bricked / self.devices if self.devices else 0.0
+
+
+@dataclass(frozen=True)
+class FaultAggregate:
+    """The whole population, one block per (config, fault) cell."""
+
+    total_runs: int
+    failed: tuple[tuple[int, str, str], ...]   # (home_id, config, first error line)
+    homes: int
+    fault_names: tuple[str, ...]
+    cells: tuple[CellStats, ...]
+
+    @property
+    def completed(self) -> int:
+        return self.total_runs - len(self.failed)
+
+    def cell(self, config_name: str, fault: str) -> CellStats:
+        for stats in self.cells:
+            if stats.config_name == config_name and stats.fault == fault:
+                return stats
+        raise KeyError((config_name, fault))
+
+
+def _cell_stats(config_name: str, fault: str, summaries: list[HomeFaultSummary]) -> CellStats:
+    cells: list[CellOutcome] = [cell for summary in summaries for cell in summary.outcomes_for(fault)]
+    counts = {outcome: sum(1 for cell in cells if cell.outcome == outcome) for outcome in OUTCOMES}
+    samples = [cell.time_to_recover for cell in cells if cell.time_to_recover is not None]
+    return CellStats(
+        config_name=config_name,
+        fault=fault,
+        homes=len(summaries),
+        devices=len(cells),
+        unaffected=counts["unaffected"],
+        recovered=counts["recovered"],
+        degraded=counts["degraded"],
+        bricked=counts["bricked"],
+        dns_retries=sum(cell.dns_retries for cell in cells),
+        dns_timeouts=sum(cell.dns_timeouts for cell in cells),
+        flow_failures=sum(cell.flow_failures for cell in cells),
+        fallbacks=sum(cell.fallbacks for cell in cells),
+        ttr=TtrStats.of(samples),
+    )
+
+
+def aggregate_faults(fleet: FleetResult) -> FaultAggregate:
+    """Collapse per-(home, config) results into (config, fault) cell stats."""
+    by_config: dict[str, list[HomeFaultSummary]] = {}
+    failed: list[tuple[int, str, str]] = []
+    fault_names: list[str] = []
+    homes: set[int] = set()
+    for result in fleet.results:
+        spec = result.spec
+        if not result.ok:
+            first_line = (result.error or "").strip().splitlines()[-1] if result.error else "unknown error"
+            failed.append((spec.home_id, spec.config_name, first_line))
+            continue
+        summary = result.summary
+        homes.add(summary.home_id)
+        by_config.setdefault(summary.config_name, []).append(summary)
+        for fault_name, _count in summary.injected:
+            if fault_name not in fault_names:
+                fault_names.append(fault_name)
+
+    cells = tuple(
+        _cell_stats(config_name, fault, summaries)
+        for config_name, summaries in sorted(by_config.items())
+        for fault in fault_names
+    )
+    return FaultAggregate(
+        total_runs=len(fleet.results),
+        failed=tuple(failed),
+        homes=len(homes),
+        fault_names=tuple(fault_names),
+        cells=cells,
+    )

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.devices import build_inventory
 from repro.devices.profile import Category

@@ -10,7 +10,6 @@ HTTPS/SVCB queries some Apple/Android devices issue.
 from __future__ import annotations
 
 import functools
-import ipaddress
 from typing import Optional
 
 from repro.net.ip6 import as_ipv6, intern_ipv6

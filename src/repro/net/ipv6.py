@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import ipaddress
-
 from repro.net.ip6 import as_ipv6, intern_ipv6
 from repro.net.packet import IP_PROTO_DECODERS, DecodeError, Layer, Raw, register_ethertype
 

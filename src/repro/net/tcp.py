@@ -195,7 +195,8 @@ class TCP(Layer):
 
     def __repr__(self) -> str:
         names = []
-        for bit, name in ((FLAG_SYN, "SYN"), (FLAG_ACK, "ACK"), (FLAG_FIN, "FIN"), (FLAG_RST, "RST"), (FLAG_PSH, "PSH")):
+        flag_names = ((FLAG_SYN, "SYN"), (FLAG_ACK, "ACK"), (FLAG_FIN, "FIN"), (FLAG_RST, "RST"), (FLAG_PSH, "PSH"))
+        for bit, name in flag_names:
             if self.flags & bit:
                 names.append(name)
         return f"TCP({self.sport} > {self.dport}, [{'|'.join(names)}])"

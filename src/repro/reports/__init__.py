@@ -18,6 +18,7 @@ from repro.reports.tables import (
     render_table13,
 )
 from repro.reports.exposure import render_exposure
+from repro.reports.faults import render_faults
 from repro.reports.fleet import render_fleet_summary
 from repro.reports.figures import (
     figure2_data,
@@ -51,5 +52,6 @@ __all__ = [
     "render_figure4",
     "render_figure5",
     "render_exposure",
+    "render_faults",
     "render_fleet_summary",
 ]

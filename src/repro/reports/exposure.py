@@ -31,7 +31,18 @@ def render_exposure(aggregate: ExposureAggregate) -> str:
     )
     table = format_table(
         title,
-        ["Firewall", "Homes", "Devices", "Discov.", "Respond", "Reach.", "TCP open", "UDP open", "Dropped", "Homes w/ reach"],
+        [
+            "Firewall",
+            "Homes",
+            "Devices",
+            "Discov.",
+            "Respond",
+            "Reach.",
+            "TCP open",
+            "UDP open",
+            "Dropped",
+            "Homes w/ reach",
+        ],
         rows,
     )
 

@@ -1,0 +1,65 @@
+"""Fault-fleet report: degradation outcomes per (config, fault) cell."""
+
+from __future__ import annotations
+
+from repro.faults.population import FaultAggregate
+from repro.reports.render import format_table
+
+
+def _ttr_cell(stats) -> str:
+    if stats.count == 0:
+        return "-"
+    return f"{stats.median:.1f}s ({stats.minimum:.1f}-{stats.maximum:.1f})"
+
+
+def render_faults(aggregate: FaultAggregate) -> str:
+    """Outcome grid plus symptom volumes, one row per config x fault cell."""
+    rows = []
+    for cell in aggregate.cells:
+        rows.append(
+            [
+                f"{cell.config_name}/{cell.fault}",
+                cell.homes,
+                cell.devices,
+                cell.unaffected,
+                cell.recovered,
+                cell.degraded,
+                cell.bricked,
+                f"{100.0 * cell.bricked_fraction:.1f}%",
+                _ttr_cell(cell.ttr),
+            ]
+        )
+    title = (
+        f"Fault degradation: {aggregate.homes} homes, "
+        f"{aggregate.completed}/{aggregate.total_runs} cells"
+        + (f", {len(aggregate.failed)} failed" if aggregate.failed else "")
+    )
+    table = format_table(
+        title,
+        ["Config/fault", "Homes", "Devices", "Unaff.", "Recov.", "Degr.", "Brick", "Brick %", "TTR med (min-max)"],
+        rows,
+    )
+
+    symptom_rows = [
+        [
+            f"{cell.config_name}/{cell.fault}",
+            cell.dns_retries,
+            cell.dns_timeouts,
+            cell.flow_failures,
+            cell.fallbacks,
+        ]
+        for cell in aggregate.cells
+    ]
+    lines = [table]
+    if symptom_rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                "Extra symptoms vs paired clean runs",
+                ["Config/fault", "DNS retries", "DNS timeouts", "Flow fails", "v4 fallbacks"],
+                symptom_rows,
+            )
+        )
+    for home_id, config_name, error in aggregate.failed:
+        lines.append(f"FAILED home {home_id} [{config_name}]: {error}")
+    return "\n".join(lines)

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.net.framecache import FrameCache
 
 if TYPE_CHECKING:
+    from repro.faults.inject import LinkImpairment
     from repro.net.ethernet import Ethernet
     from repro.sim.engine import Simulator
     from repro.sim.nic import Nic
@@ -40,6 +41,9 @@ class EthernetLink:
         self.latency = latency
         self.name = name
         self.frames = frame_cache if frame_cache is not None else FrameCache()
+        # Optional fault hook (repro.faults): consulted per transmitted frame
+        # for loss/latency/reordering while an impairment window is active.
+        self.impairment: "Optional[LinkImpairment]" = None
         self._nics: list["Nic"] = []
         self._by_mac: dict[bytes, "Nic"] = {}
         self._promiscuous: list["Nic"] = []
@@ -94,7 +98,14 @@ class EthernetLink:
                 frame_tap(self.sim.now, frame, decoded)
         if len(frame) < 6:
             return
-        self.sim.schedule(self.latency, self._deliver, sender, frame)
+        delay = self.latency
+        if self.impairment is not None:
+            # Taps above already saw the frame: capture mirrors the sender's
+            # port, loss happens in the medium past it (like real tcpdump).
+            delay = self.impairment.transit_delay(self.sim.now, delay)
+            if delay is None:
+                return
+        self.sim.schedule(delay, self._deliver, sender, frame)
 
     def _deliver(self, sender: "Nic", frame: bytes) -> None:
         dst = frame[0:6]

@@ -107,6 +107,16 @@ class StackConfig:
     accept_rdnss: bool = True           # learns resolvers from RA RDNSS
     dns_over_ipv6: bool = True          # can use an IPv6 resolver transport
 
+    # DNS retry behaviour (repro.faults): a timed-out query is retransmitted
+    # up to ``dns_retry_budget`` more times with exponential backoff
+    # (``dns_backoff_base * 2**attempt`` plus uniform seeded jitter). Clean
+    # runs never hit a timeout, so these defaults are wire-invisible without
+    # faults; under an outage they produce the paper's query storms.
+    dns_timeout: float = 3.0
+    dns_retry_budget: int = 2
+    dns_backoff_base: float = 2.0
+    dns_backoff_jitter: float = 0.5
+
     # Misc
     answer_echo: bool = True            # replies to ICMPv6/ICMPv4 echo
     open_tcp_ports_v4: tuple = ()

@@ -20,6 +20,7 @@ implements, subject to its :class:`~repro.stack.config.StackConfig`:
 from __future__ import annotations
 
 import ipaddress
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.net.arp import ARP, OP_REQUEST as ARP_REQUEST
@@ -85,6 +86,37 @@ DNS_TIMEOUT = 3.0
 UdpHandler = Callable[[object, int, Layer], None]
 
 
+@dataclass
+class StackMetrics:
+    """Observable symptoms of one host's run (picklable).
+
+    The fault analysis (:mod:`repro.faults.analysis`) classifies device
+    degradation by comparing these counters between a baseline run and a
+    fault-injected run: retry storms show up as ``dns_retries``, upstream
+    outages as ``dns_failures``, and happy-eyeballs rescues as fallbacks
+    recorded by the device layer.
+    """
+
+    dns_queries: int = 0
+    dns_retries: int = 0
+    dns_timeouts: int = 0
+    dns_failures: int = 0         # budget exhausted, caller saw None
+    flow_attempts: int = 0
+    flow_successes: int = 0
+    flow_failures: int = 0
+    fallbacks: int = 0            # v6 -> v4 happy-eyeballs rescues
+    dns_timeout_times: list = field(default_factory=list)
+    flow_failure_times: list = field(default_factory=list)
+    flow_success_times: list = field(default_factory=list)
+    fallback_times: list = field(default_factory=list)
+
+    @property
+    def last_symptom(self) -> Optional[float]:
+        """When the most recent failure symptom happened (or None)."""
+        times = self.dns_timeout_times + self.flow_failure_times
+        return max(times) if times else None
+
+
 class HostStack(Node):
     """A simulated host attached to the testbed LAN."""
 
@@ -94,6 +126,11 @@ class HostStack(Node):
         self.config = config or StackConfig()
         self.nic = self.add_nic(Nic(self, self.mac, link))
         self.rng = sim.rng_for(f"host/{name}")
+        # Retry/backoff randomness lives on its own derived stream so a
+        # fault-triggered retransmission never perturbs the clean-path draws
+        # (txids, ephemeral ports) that shape the no-fault goldens.
+        self._retry_rng = sim.rng_for(f"dns-retry/{name}")
+        self.metrics = StackMetrics()
         self.addrs = AddressManager(self.mac, self.rng)
         self.neighbors = ResolutionCache()
         self.arp = ResolutionCache()
@@ -168,6 +205,7 @@ class HostStack(Node):
         self.tcp4.flush()
         self._dns_pending.clear()
         self._deferred_prefixes.clear()
+        self.metrics = StackMetrics()
 
     def _schedule(self, delay: float, fn: Callable, *args):
         return self.sim.schedule(delay, fn, *args)
@@ -746,20 +784,31 @@ class HostStack(Node):
     def resolve(self, name: str, qtype: int, family: int, callback: Callable[[Optional[DNS]], None]) -> bool:
         """Issue a DNS query over the given transport family (4 or 6).
 
-        ``callback`` receives the response message, or None on timeout /
-        missing resolver. Returns False when no resolver transport exists.
+        ``callback`` receives the response message, or None once the retry
+        budget is exhausted / no resolver exists. Returns False when no
+        resolver transport exists.
         """
+        return self._dns_attempt(name, qtype, family, callback, 0)
+
+    def _dns_attempt(self, name: str, qtype: int, family: int, callback, attempt: int) -> bool:
         servers = self.dns_servers.v6 if family == 6 else self.dns_servers.v4
         if not servers:
             callback(None)
             return False
-        txid = self.rng.getrandbits(16)
+        # Attempt 0 draws txid and sport from the host stream in the exact
+        # clean-path order; retransmissions draw from the dedicated retry
+        # stream so the clean goldens cannot shift.
+        rng = self.rng if attempt == 0 else self._retry_rng
+        txid = rng.getrandbits(16)
         while txid in self._dns_pending:
             txid = (txid + 1) & 0xFFFF
         query = DNS.query(txid, name, qtype)
-        sport = self.rng.randint(32768, 60999)
-        timeout_event = self.sim.schedule(DNS_TIMEOUT, self._dns_timeout, txid)
-        self._dns_pending[txid] = (callback, timeout_event, Question(name, qtype))
+        sport = rng.randint(32768, 60999)
+        timeout_event = self.sim.schedule(self.config.dns_timeout, self._dns_timeout, txid)
+        self._dns_pending[txid] = (callback, timeout_event, Question(name, qtype), family, attempt)
+        self.metrics.dns_queries += 1
+        if attempt:
+            self.metrics.dns_retries += 1
         sent = self.udp_send(servers[0], 53, query, sport=sport)
         if not sent:
             timeout_event.cancel()
@@ -770,14 +819,25 @@ class HostStack(Node):
 
     def _dns_timeout(self, txid: int) -> None:
         entry = self._dns_pending.pop(txid, None)
-        if entry is not None:
-            entry[0](None)
+        if entry is None:
+            return
+        callback, _timeout_event, question, family, attempt = entry
+        self.metrics.dns_timeouts += 1
+        self.metrics.dns_timeout_times.append(self.sim.now)
+        if attempt < self.config.dns_retry_budget and self._booted:
+            delay = self.config.dns_backoff_base * (2 ** attempt)
+            if self.config.dns_backoff_jitter:
+                delay += self._retry_rng.random() * self.config.dns_backoff_jitter
+            self.sim.schedule(delay, self._dns_attempt, question.name, question.qtype, family, callback, attempt + 1)
+            return
+        self.metrics.dns_failures += 1
+        callback(None)
 
     def _handle_dns_response(self, message: DNS) -> None:
         entry = self._dns_pending.pop(message.txid, None)
         if entry is None:
             return
-        callback, timeout_event, question = entry
+        callback, timeout_event, question = entry[0], entry[1], entry[2]
         timeout_event.cancel()
         if message.question is not None and message.question != question:
             callback(None)

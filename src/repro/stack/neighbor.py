@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.net.mac import MacAddress
 

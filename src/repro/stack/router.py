@@ -79,6 +79,7 @@ from repro.stack.neighbor import ResolutionCache
 
 if TYPE_CHECKING:
     from repro.cloud.internet import Internet
+    from repro.faults.inject import RouterFaultState
 
 RA_INTERVAL = 30.0
 BROADCAST_V4 = ipaddress.IPv4Address("255.255.255.255")
@@ -120,6 +121,9 @@ class Router(Node):
         self.neighbors = ResolutionCache()
         self.arp = ResolutionCache()
         self.firewall = self._build_firewall("open")
+        # Optional fault hook (repro.faults): RA suppression, DHCPv6 outage,
+        # DNS blackhole and uplink flaps, consulted at each decision point.
+        self.faults: "Optional[RouterFaultState]" = None
 
         # DHCPv4 leases: MAC -> IPv4
         self._v4_leases: dict[MacAddress, ipaddress.IPv4Address] = {}
@@ -168,6 +172,8 @@ class Router(Node):
 
     def send_ra(self, solicited_by: Optional[MacAddress] = None) -> None:
         if self.config is None or not self.config.ipv6:
+            return
+        if self.faults is not None and self.faults.ra_suppressed(self.sim.now):
             return
         options = [
             SourceLinkLayerOption(self.mac),
@@ -263,6 +269,10 @@ class Router(Node):
             proto, sport = 6, payload.sport
         else:
             return
+        if self.faults is not None:
+            dns = isinstance(payload, UDP) and payload.dport == 53
+            if self.faults.drops_wan(self.sim.now, family=4, dns=dns):
+                return
         key = self._nat_key(proto, packet.src, sport)
         public_port = self._nat_out.get(key)
         if public_port is None:
@@ -281,6 +291,10 @@ class Router(Node):
         if packet.dst != self.wan_v4_address:
             return
         payload = packet.payload
+        if self.faults is not None:
+            dns = isinstance(payload, UDP) and payload.sport == 53
+            if self.faults.drops_wan(self.sim.now, family=4, dns=dns):
+                return
         if isinstance(payload, UDP):
             proto, dport = 17, payload.dport
         elif isinstance(payload, TCP):
@@ -325,6 +339,10 @@ class Router(Node):
         if dst in self.lan_v6_prefix:
             self._deliver_lan_v6(packet)
         elif classify_address(dst) == AddressScope.GUA:
+            if self.faults is not None:
+                dns = isinstance(payload, UDP) and payload.dport == 53
+                if self.faults.drops_wan(self.sim.now, family=6, dns=dns):
+                    return
             forwarded = IPv6(packet.src, dst, packet.next_header, payload, hop_limit=packet.hop_limit - 1)
             self.firewall.note_outbound(forwarded)
             self.internet.deliver_v6(forwarded)
@@ -357,6 +375,8 @@ class Router(Node):
         elif classify_address(packet.dst) == AddressScope.GUA and not self._owns_v6(packet.dst):
             # Off-link ICMPv6 (echo replies to Internet pingers, Port
             # Unreachables for WAN probes) forwards like any other traffic.
+            if self.faults is not None and self.faults.drops_wan(self.sim.now, family=6, dns=False):
+                return
             forwarded = IPv6(packet.src, packet.dst, packet.next_header, message, hop_limit=packet.hop_limit - 1)
             self.firewall.note_outbound(forwarded)
             self.internet.deliver_v6(forwarded)
@@ -395,6 +415,10 @@ class Router(Node):
         flows, ``pinhole`` additionally whatever holes devices registered.
         """
         if packet.dst in self.lan_v6_prefix and not self._owns_v6(packet.dst):
+            if self.faults is not None:
+                dns = isinstance(packet.payload, UDP) and packet.payload.sport == 53
+                if self.faults.drops_wan(self.sim.now, family=6, dns=dns):
+                    return
             if not self.firewall.permits_inbound(packet):
                 return
             self._deliver_lan_v6(packet)
@@ -406,6 +430,8 @@ class Router(Node):
     # ----------------------------------------------------------------- DHCPv6
 
     def _handle_dhcpv6(self, src_mac: MacAddress, src: ipaddress.IPv6Address, message: DHCPv6) -> None:
+        if self.faults is not None and self.faults.dhcpv6_down(self.sim.now):
+            return
         stateless_on = self.config.stateless_dhcpv6
         stateful_on = self.config.stateful_dhcpv6
         if message.msg_type == MSG_INFORMATION_REQUEST and stateless_on:

@@ -28,7 +28,12 @@ from repro.stack.config import StackConfig
 from repro.stack.host import HostStack
 from repro.testbed.lab import Testbed
 
-COMMON_TCP_PORTS = (22, 23, 80, 443, 554, 1883, 7000, 8001, 8008, 8060, 8080, 8443, 8888, 9100, 37993, 39500, 46525, 46757, 49152)
+# fmt: off
+COMMON_TCP_PORTS = (
+    22, 23, 80, 443, 554, 1883, 7000, 8001, 8008, 8060, 8080, 8443, 8888,
+    9100, 37993, 39500, 46525, 46757, 49152,
+)
+# fmt: on
 COMMON_UDP_PORTS = (53, 69, 123, 161, 500, 1024)
 
 SCANNER_MAC = MacAddress("02:5c:a9:00:00:99")

@@ -8,7 +8,6 @@ regenerate the paper's tables and figures.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
@@ -145,6 +144,7 @@ def run_home_study(
     device_names: Sequence[str],
     *,
     checkins: int = 2,
+    fault_schedule=None,
     progress: Optional[Callable[[float, int], None]] = None,
     progress_interval: float = 100.0,
 ) -> Study:
@@ -154,13 +154,24 @@ def run_home_study(
     (:mod:`repro.fleet.runner`) fans out over a worker pool — it takes only
     plain values (seed, config name, device names), rebuilds the profiles
     from the inventory inside the worker, and returns a single-experiment
-    :class:`Study`. ``progress``, if given, is polled on a simulated timer
-    with ``(virtual_time, simulator.pending)``; the timer callbacks touch no
-    device state, so enabling progress does not perturb the simulation.
+    :class:`Study`. ``fault_schedule``, if given, is a
+    :class:`~repro.faults.schedule.FaultSchedule` injected into the home's
+    link and router for the whole run (the injector's counters are exposed
+    as ``study.testbed.faults``). ``progress``, if given, is polled on a
+    simulated timer with ``(virtual_time, simulator.pending)``; the timer
+    callbacks touch no device state, so enabling progress does not perturb
+    the simulation.
     """
     config = resolve_config(config)
     profiles = profiles_by_name(device_names)
     testbed = Testbed(seed=seed, profiles=profiles, include_controls=False)
+
+    if fault_schedule is not None:
+        # Imported lazily: repro.faults.analysis consumes this module, and
+        # the injector is only needed when a schedule is actually supplied.
+        from repro.faults.inject import FaultInjector
+
+        testbed.faults = FaultInjector.attach(testbed, fault_schedule)
 
     if progress is not None:
 

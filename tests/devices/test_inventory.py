@@ -34,11 +34,13 @@ def per_cat(inventory, predicate):
 
 
 def v6only_data(p):
-    return (p.v6only.data_v6 and (p.portfolio.aaaa_resp_names > 0 or p.portfolio.v6_literal_names > 0)) or p.v6only.ntp_v6
+    has_v6_names = p.portfolio.aaaa_resp_names > 0 or p.portfolio.v6_literal_names > 0
+    return (p.v6only.data_v6 and has_v6_names) or p.v6only.ntp_v6
 
 
 def dual_data(p):
-    return (p.dual.data_v6 and (p.portfolio.aaaa_resp_names > 0 or p.portfolio.v6_literal_names + p.portfolio.v6_literal_with_v4 > 0)) or p.dual.ntp_v6
+    has_v6_names = p.portfolio.aaaa_resp_names > 0 or p.portfolio.v6_literal_names + p.portfolio.v6_literal_with_v4 > 0
+    return (p.dual.data_v6 and has_v6_names) or p.dual.ntp_v6
 
 
 class TestTable3IPv6Only:

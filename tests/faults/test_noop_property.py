@@ -1,0 +1,70 @@
+"""Property: a schedule that can never activate is wire-invisible.
+
+The determinism contract (DESIGN.md §9) promises that attaching a
+:class:`FaultSchedule` whose windows are all zero-duration, or all disjoint
+from the simulated horizon, changes **nothing**: the captured bytes are
+identical to a run with no schedule attached at all. Hypothesis generates
+adversarial window sets; a short two-device experiment keeps each example
+cheap.
+"""
+
+import hashlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.schedule import FAULT_KINDS, FaultSchedule, FaultWindow
+from repro.stack.config import DUAL_STACK
+from repro.testbed.experiments import run_connectivity_experiment
+from repro.testbed.lab import Testbed
+from repro.testbed.study import profiles_by_name
+
+HORIZON = 200.0  # short experiment: boot + settling + one check-in window
+DEVICES = ("Behmor Brewer", "Smarter IKettle")
+
+
+def _capture_digest(schedule=None) -> str:
+    testbed = Testbed(seed=13, profiles=profiles_by_name(DEVICES), include_controls=False)
+    if schedule is not None:
+        from repro.faults.inject import FaultInjector
+
+        FaultInjector.attach(testbed, schedule)
+    result = run_connectivity_experiment(testbed, DUAL_STACK, checkins=1, duration=HORIZON)
+    digest = hashlib.sha256()
+    for record in result.records:
+        digest.update(record.data)
+    return f"{len(result.records)}:{digest.hexdigest()}"
+
+
+BASELINE = _capture_digest()
+
+_kinds = st.sampled_from(FAULT_KINDS)
+_severity = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+# Zero-duration windows anywhere inside the horizon: start == end.
+_zero_duration = st.builds(
+    lambda kind, start, severity: FaultWindow(kind, start, start, severity=severity),
+    _kinds,
+    st.floats(min_value=0.0, max_value=HORIZON, allow_nan=False),
+    _severity,
+)
+
+# Real windows that live entirely past the simulated horizon.
+_disjoint = st.builds(
+    lambda kind, start, length, severity: FaultWindow(kind, start, start + length, severity=severity),
+    _kinds,
+    st.floats(min_value=HORIZON, max_value=HORIZON * 10, allow_nan=False),
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    _severity,
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.lists(st.one_of(_zero_duration, _disjoint), min_size=0, max_size=6))
+def test_inert_schedule_leaves_capture_byte_identical(windows):
+    schedule = FaultSchedule.of("inert", windows)
+    assert not schedule.overlaps(HORIZON)
+    assert _capture_digest(schedule) == BASELINE
+
+
+def test_no_faults_equals_no_attachment():
+    assert _capture_digest(FaultSchedule(name="none")) == BASELINE

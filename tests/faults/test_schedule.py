@@ -1,0 +1,89 @@
+"""FaultWindow/FaultSchedule semantics: pure data, no simulator."""
+
+import pytest
+
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    FAULT_PRESETS,
+    FaultSchedule,
+    FaultWindow,
+    NO_FAULTS,
+    get_fault,
+)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        FaultWindow("no-such-kind", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        FaultWindow("loss", 5.0, 1.0)  # end < start
+    with pytest.raises(ValueError):
+        FaultWindow("loss", 0.0, 1.0, severity=1.5)  # probability > 1
+    with pytest.raises(ValueError):
+        FaultWindow("latency", 0.0, 1.0, jitter=-0.1)
+    # latency severity is seconds, not a probability: > 1 is legal
+    assert FaultWindow("latency", 0.0, 1.0, severity=2.5).severity == 2.5
+
+
+def test_window_active_is_closed_open():
+    window = FaultWindow("loss", 10.0, 20.0, severity=0.5)
+    assert not window.active(9.999)
+    assert window.active(10.0)
+    assert window.active(19.999)
+    assert not window.active(20.0)
+    assert window.duration == 10.0
+
+
+def test_schedule_normalizes_window_order():
+    late = FaultWindow("loss", 50.0, 60.0, severity=0.1)
+    early = FaultWindow("latency", 5.0, 15.0, severity=0.01)
+    a = FaultSchedule.of("x", [late, early])
+    b = FaultSchedule.of("x", [early, late])
+    assert a == b
+    assert a.windows[0] is early or a.windows[0] == early
+
+
+def test_active_returns_matching_kind_only():
+    schedule = FaultSchedule.of(
+        "mix",
+        [FaultWindow("loss", 0.0, 10.0, severity=0.3), FaultWindow("dns-outage", 5.0, 15.0)],
+    )
+    assert schedule.active("loss", 5.0).severity == 0.3
+    assert schedule.active("dns-outage", 12.0) is not None
+    assert schedule.active("loss", 12.0) is None
+    assert schedule.active("uplink-down", 5.0) is None
+    assert schedule.kinds() == ("dns-outage", "loss")
+
+
+def test_combine_and_shift():
+    a = FaultSchedule.of("a", [FaultWindow("loss", 0.0, 10.0, severity=0.2)])
+    b = FaultSchedule.of("b", [FaultWindow("dns-outage", 20.0, 30.0)])
+    both = a.combine(b)
+    assert both.name == "a+b"
+    assert len(both.windows) == 2
+    shifted = both.shifted(100.0)
+    assert shifted.active("loss", 105.0) is not None
+    assert shifted.active("loss", 5.0) is None
+    assert shifted.last_end == 130.0
+
+
+def test_noop_and_bounds():
+    assert NO_FAULTS.is_noop
+    assert NO_FAULTS.first_start is None and NO_FAULTS.last_end is None
+    zero = FaultSchedule.of("z", [FaultWindow("loss", 50.0, 50.0, severity=0.9)])
+    assert zero.is_noop
+    assert not zero.overlaps(1400.0)
+    real = FaultSchedule.of("r", [FaultWindow("loss", 50.0, 60.0, severity=0.9)])
+    assert not real.is_noop
+    assert real.first_start == 50.0 and real.last_end == 60.0
+    assert real.overlaps(55.0) and not real.overlaps(50.0)
+
+
+def test_presets_resolve_and_cover_known_kinds():
+    for name, schedule in FAULT_PRESETS.items():
+        assert get_fault(name) is schedule
+        for window in schedule.windows:
+            assert window.kind in FAULT_KINDS
+    assert get_fault("none").is_noop
+    with pytest.raises(KeyError, match="unknown fault preset"):
+        get_fault("power-surge")

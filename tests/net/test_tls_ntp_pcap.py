@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 from repro.net import Ethernet, IPv6, MacAddress, TCP, TLSClientHello
 from repro.net.ntp import MODE_CLIENT, MODE_SERVER, NTP
 from repro.net.packet import DecodeError
-from repro.net.pcap import PcapReader, PcapRecord, PcapWriter, dump_records, load_records
+from repro.net.pcap import PcapReader, PcapRecord, dump_records, load_records
 from repro.net.tcp import FLAG_ACK, FLAG_PSH
 
 MAC_A = MacAddress("02:00:00:00:00:01")

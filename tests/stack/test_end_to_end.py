@@ -2,8 +2,6 @@
 
 import ipaddress
 
-import pytest
-
 from repro.net.dns import TYPE_A, TYPE_AAAA
 from repro.net.packet import Raw
 from repro.net.tls import TLSClientHello

@@ -186,7 +186,11 @@ def test_pinhole_router_end_to_end(lab):
     lab.router.from_wan_v6(IPv6(REMOTE, gua, 6, TCP(4000, 8080, FLAG_SYN, seq=9), hop_limit=57))
     lab.router.from_wan_v6(IPv6(REMOTE, gua, 6, TCP(4001, 8443, FLAG_SYN, seq=9), hop_limit=57))
     lab.sim.run(5.0)
-    synacks = [p.payload.sport for p in collector.packets if isinstance(p.payload, TCP) and p.payload.syn and p.payload.ack_flag]
+    synacks = [
+        p.payload.sport
+        for p in collector.packets
+        if isinstance(p.payload, TCP) and p.payload.syn and p.payload.ack_flag
+    ]
     assert synacks == [8080]  # only the pinholed port answers
 
 

@@ -32,8 +32,11 @@ class TestResolver:
         host.dns_servers.v6 = [ipaddress.IPv6Address("2600:dead::1")]
         calls = []
         host.resolve("x.example", TYPE_AAAA, 6, calls.append)
-        lab.sim.run(10.0)
+        # long enough for the whole retry envelope (budget 2, exp. backoff)
+        lab.sim.run(30.0)
         assert calls == [None]
+        assert host.metrics.dns_retries == host.config.dns_retry_budget
+        assert host.metrics.dns_timeouts == host.config.dns_retry_budget + 1
 
     def test_mismatched_response_question_rejected(self, lab):
         lab.registry.register("real.example", v4=True, v6=True)
@@ -111,7 +114,9 @@ class TestRebootHygiene:
         records = lab.start_capture() if hasattr(lab, "start_capture") else None
         captured = []
         lab.link.add_tap(lambda ts, frame: captured.append(frame))
-        host = lab.host(config=StackConfig(iid_mode="temporary", temporary_addr_count=3, temporary_spread=30.0, temporary_start=1.0))
+        host = lab.host(
+            config=StackConfig(iid_mode="temporary", temporary_addr_count=3, temporary_spread=30.0, temporary_start=1.0)
+        )
         lab.start(IPV6_ONLY, host, settle=120.0)
         from repro.core.capture import CaptureIndex
         from repro.net.pcap import PcapRecord

@@ -1,10 +1,6 @@
 """Router behaviour per Table-2 configuration: RA flags, DHCP modes, NAT."""
 
-import ipaddress
-
-import pytest
-
-from repro.net.icmpv6 import ICMPv6, RDNSSOption
+from repro.net.icmpv6 import RDNSSOption
 from repro.stack import StackConfig
 from repro.stack.config import (
     DUAL_STACK,
@@ -110,7 +106,9 @@ class TestNat44:
         box = {}
         record = lab.registry.lookup("svc.example")
         lab.internet.materialize_registry()
-        host.tcp_request(record.a_records[0], 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r))
+        host.tcp_request(
+            record.a_records[0], 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r)
+        )
         lab.sim.run(10.0)
         assert "ok" in box
         assert seen["src"] == lab.router.wan_v4_address
@@ -162,7 +160,9 @@ class TestForwarding:
         record = lab.registry.lookup("svc6.example")
         lab.internet.materialize_registry()
         box = {}
-        host.tcp_request(record.aaaa_records[0], 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r))
+        host.tcp_request(
+            record.aaaa_records[0], 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r)
+        )
         lab.sim.run(10.0)
         assert "ok" in box
         assert seen["hop"] == 63  # host sent 64, router decremented

@@ -1,7 +1,5 @@
 """Unit tests for the miniature TCP state machines."""
 
-import pytest
-
 from repro.net.tcp import FLAG_ACK, FLAG_RST, FLAG_SYN, TCP
 from repro.sim import Simulator
 from repro.stack.tcpflows import TcpEngine
@@ -33,7 +31,14 @@ class TestClientServer:
         h = Harness()
         h.server.listen(443, lambda req: b"response:" + req)
         box = {}
-        h.client.connect("10.0.0.2", "10.0.0.9", 443, [b"hello"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r))
+        h.client.connect(
+            "10.0.0.2",
+            "10.0.0.9",
+            443,
+            [b"hello"],
+            lambda r: box.setdefault("ok", r),
+            lambda r: box.setdefault("fail", r),
+        )
         h.sim.run(5.0)
         assert box.get("ok") == [b"response:hello"]
 
@@ -51,7 +56,9 @@ class TestClientServer:
     def test_closed_port_refused(self):
         h = Harness()
         box = {}
-        h.client.connect("10.0.0.2", "10.0.0.9", 81, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r))
+        h.client.connect(
+            "10.0.0.2", "10.0.0.9", 81, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r)
+        )
         h.sim.run(5.0)
         assert box.get("fail") == "refused"
 
@@ -59,7 +66,15 @@ class TestClientServer:
         h = Harness(drop_server_responses=True)
         h.server.listen(443, lambda req: req)
         box = {}
-        h.client.connect("10.0.0.2", "10.0.0.9", 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r), timeout=3.0)
+        h.client.connect(
+            "10.0.0.2",
+            "10.0.0.9",
+            443,
+            [b"x"],
+            lambda r: box.setdefault("ok", r),
+            lambda r: box.setdefault("fail", r),
+            timeout=3.0,
+        )
         h.sim.run(10.0)
         assert box.get("fail") == "timeout"
 
@@ -77,7 +92,9 @@ class TestClientServer:
         h = Harness()
         h.server.listen(443, lambda req: b"ok")
         box = {}
-        h.client.connect("10.0.0.2", "10.0.0.9", 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r))
+        h.client.connect(
+            "10.0.0.2", "10.0.0.9", 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r)
+        )
         h.sim.run(5.0)
         fins = [s for _, s in h.wire if s.fin]
         assert len(fins) == 2  # one each way
@@ -118,6 +135,8 @@ class TestClientServer:
         h.server.listen(443, lambda req: b"")
         h.server.close_listener(443)
         box = {}
-        h.client.connect("10.0.0.2", "10.0.0.9", 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r))
+        h.client.connect(
+            "10.0.0.2", "10.0.0.9", 443, [b"x"], lambda r: box.setdefault("ok", r), lambda r: box.setdefault("fail", r)
+        )
         h.sim.run(5.0)
         assert box.get("fail") == "refused"

@@ -48,3 +48,59 @@ def test_exposure_command(capsys):
 def test_exposure_rejects_ipv4_only():
     with pytest.raises(SystemExit):
         main(["exposure", "--homes", "1", "--config", "ipv4-only"])
+
+
+def test_faults_command(capsys):
+    assert main(["faults", "--homes", "1", "--seed", "3", "--jobs", "1",
+                 "--configs", "dual-stack", "--faults", "dns-blackout"]) == 0
+    captured = capsys.readouterr()
+    assert "Fault degradation:" in captured.out
+    assert "dual-stack/dns-blackout" in captured.out
+    assert "TTR med" in captured.out
+
+
+def test_faults_unknown_preset(capsys):
+    assert main(["faults", "--homes", "1", "--faults", "meteor-strike"]) == 2
+    assert "unknown fault preset" in capsys.readouterr().err
+
+
+# ---- exit-code regressions: --homes 0 and worker failures must not exit 0
+
+
+@pytest.mark.parametrize("command", ["fleet", "exposure", "faults"])
+def test_homes_zero_exits_nonzero(command, capsys):
+    assert main([command, "--homes", "0"]) == 2
+    captured = capsys.readouterr()
+    assert "nothing to run" in captured.err
+    assert captured.out == ""
+
+
+def test_fleet_worker_failure_exits_nonzero(capsys, monkeypatch):
+    import repro.fleet.runner as runner
+
+    def exploding_study(*args, **kwargs):
+        raise RuntimeError("boom in worker")
+
+    # simulate_home is baked in as run_fleet's default worker at def time,
+    # so fail the study call it makes instead.
+    monkeypatch.setattr(runner, "run_home_study", exploding_study)
+    assert main(["fleet", "--homes", "2", "--jobs", "1", "--seed", "7"]) == 1
+    captured = capsys.readouterr()
+    assert "home run(s) failed" in captured.err
+    assert "boom in worker" in captured.err
+    # the (empty) summary still rendered before the failure exit
+    assert "Fleet summary" in captured.out
+
+
+def test_faults_worker_failure_exits_nonzero(capsys, monkeypatch):
+    import repro.faults.population as population
+
+    def exploding_worker(spec):
+        raise RuntimeError("fault worker crashed")
+
+    monkeypatch.setattr(population, "run_home_faults", exploding_worker)
+    assert main(["faults", "--homes", "1", "--jobs", "1",
+                 "--configs", "dual-stack", "--faults", "none"]) == 1
+    captured = capsys.readouterr()
+    assert "home run(s) failed" in captured.err
+    assert "fault worker crashed" in captured.err

@@ -1,16 +1,13 @@
 """Testbed-level tests on a small device subset (fast enough for CI)."""
 
-import io
-
 import pytest
 
 from repro.core.capture import CaptureIndex
 from repro.devices import build_inventory
 from repro.net.pcap import PcapReader
-from repro.stack.config import ALL_CONFIGS, DUAL_STACK, IPV4_ONLY, IPV6_ONLY
-from repro.testbed import PortScanner, Testbed, run_connectivity_experiment
-from repro.testbed.activedns import active_dns_queries
-from repro.testbed.study import Study, observed_domains, run_full_study
+from repro.stack.config import ALL_CONFIGS, DUAL_STACK
+from repro.testbed import Testbed, run_connectivity_experiment
+from repro.testbed.study import observed_domains, run_full_study
 
 SUBSET = [
     "Samsung Fridge",
@@ -111,7 +108,9 @@ class TestDeterminism:
         profiles = [p for p in build_inventory() if p.name in ("Wemo Plug", "Philips Hue Hub")]
         runs = []
         for _ in range(2):
-            testbed = Testbed(seed=99, profiles=[p for p in build_inventory() if p.name in ("Wemo Plug", "Philips Hue Hub")])
+            testbed = Testbed(
+                seed=99, profiles=[p for p in build_inventory() if p.name in ("Wemo Plug", "Philips Hue Hub")]
+            )
             result = run_connectivity_experiment(testbed, DUAL_STACK)
             runs.append([(r.timestamp, r.data) for r in result.records])
         assert runs[0] == runs[1]
