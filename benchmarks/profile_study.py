@@ -1,0 +1,64 @@
+"""Profile a one-configuration study run and print the top cumulative hot spots.
+
+CI runs this after the pipeline benchmark and uploads the report as a per-run
+artifact, so every perf PR leaves a flame-level trail: compare the top-30
+table between two runs to see where the wall-clock moved.
+
+Usage:
+    PYTHONPATH=src python benchmarks/profile_study.py [--top 30] [--seed 77]
+        [--config ipv6-only] [--output benchmarks/profile_top30.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+from repro.devices import build_inventory
+from repro.stack.config import ALL_CONFIGS
+from repro.testbed import Testbed, run_connectivity_experiment
+
+
+def profile_once(config_name: str, seed: int, top: int) -> str:
+    config = next(c for c in ALL_CONFIGS if c.name == config_name)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    testbed = Testbed(seed=seed, profiles=build_inventory())
+    result = run_connectivity_experiment(testbed, config)
+    profiler.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    frames = testbed.link.frames
+    header = (
+        f"one-config study profile: config={config_name} seed={seed} "
+        f"devices={len(result.functionality)}\n"
+        f"frame cache: encode_count={frames.encode_count} "
+        f"decode_count={frames.decode_count} "
+        f"prime_rate={frames.prime_rate:.3f} errors={frames.decode_errors}\n\n"
+    )
+    return header + stream.getvalue()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--top", type=int, default=30, help="rows of the cumulative table to keep")
+    parser.add_argument("--seed", type=int, default=77)
+    parser.add_argument("--config", default="ipv6-only", help="connectivity configuration name")
+    parser.add_argument("--output", type=Path, default=None, help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    report = profile_once(args.config, args.seed, args.top)
+    print(report)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

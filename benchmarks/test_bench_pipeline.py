@@ -2,7 +2,7 @@
 
 import time
 
-from conftest import CALIBRATION_BASELINE_SECONDS, PIPELINE_TIMINGS, PRE_PR_BASELINE
+from conftest import CALIBRATION_BASELINE_SECONDS, EMIT_ONCE_BASELINE, PIPELINE_TIMINGS, PRE_PR_BASELINE
 from repro.core.capture import CaptureIndex
 from repro.devices import build_inventory
 from repro.reports import (
@@ -88,10 +88,13 @@ def test_bench_pipeline_end_to_end(study, analysis, record):
     for name, text in tables.items():
         record(name, text)
 
-    # The decode-once invariant held end to end: one parse per distinct frame.
+    # The emit-once invariant held end to end: every frame entered the cache
+    # from the transmit side, and no receiver ever paid an Ethernet.decode.
     frames = study.testbed.link.frames
     assert frames.decode_errors == 0
-    assert frames.hit_rate > 0.5
+    assert frames.encode_count > 0
+    assert frames.decode_count == 0, f"emit-once regressed: {frames.decode_count} receive-side parses"
+    assert 0.0 < frames.prime_rate <= 1.0
 
     end_to_end = sum(
         PIPELINE_TIMINGS[key] for key in ("study_seconds", "index_seconds", "tables_seconds")
@@ -105,4 +108,15 @@ def test_bench_pipeline_end_to_end(study, analysis, record):
         f"pipeline end-to-end {end_to_end:.1f}s is only {speedup:.2f}x the pre-PR "
         f"baseline ({PRE_PR_BASELINE['end_to_end_seconds']}s scaled by machine "
         f"factor {machine_factor:.2f})"
+    )
+
+    # The emit-once wire path gate: study wall-clock >= 1.4x faster than the
+    # decode-once pipeline's committed numbers, normalized by the calibration
+    # anchor recorded in the same baseline session.
+    study_factor = PIPELINE_TIMINGS["calibration_seconds"] / EMIT_ONCE_BASELINE["calibration_seconds"]
+    study_speedup = (EMIT_ONCE_BASELINE["study_seconds"] * study_factor) / PIPELINE_TIMINGS["study_seconds"]
+    PIPELINE_TIMINGS["study_speedup_vs_decode_once"] = study_speedup
+    assert study_speedup >= 1.4, (
+        f"study stage {PIPELINE_TIMINGS['study_seconds']:.1f}s is only {study_speedup:.2f}x the "
+        f"decode-once baseline ({EMIT_ONCE_BASELINE['study_seconds']}s scaled by {study_factor:.2f})"
     )

@@ -22,7 +22,8 @@ from repro.net.dns import (
     TYPE_HTTPS,
     TYPE_SVCB,
 )
-from repro.net.ipv4 import IPv4
+from repro.net.ip6 import as_ipv6
+from repro.net.ipv4 import IPv4, as_ipv4
 from repro.net.ipv6 import IPv6
 from repro.net.ntp import MODE_SERVER, NTP
 from repro.net.packet import Layer
@@ -96,10 +97,14 @@ class Internet:
         self.rng = sim.rng_for("internet")
         self.router: Optional["Router"] = None
         self._endpoints: dict[object, Endpoint] = {}
-        self.dns_v4 = ipaddress.IPv4Address(dns_v4)
-        self.dns_v6 = ipaddress.IPv6Address(dns_v6)
-        self.ntp_v6 = ipaddress.IPv6Address(ntp_v6)
+        self.dns_v4 = as_ipv4(dns_v4)
+        self.dns_v6 = as_ipv6(dns_v6)
+        self.ntp_v6 = as_ipv6(ntp_v6)
         self.dropped: int = 0  # packets to unreachable/unknown destinations
+        # Response templates per question: the registry is immutable once
+        # materialized, so the resolver builds each answer (and its encoded
+        # tail) once and stamps per-query transaction IDs onto copies.
+        self._dns_responses: dict[tuple[str, int, int], DNS] = {}
 
         for addr in (self.dns_v4, self.dns_v6):
             endpoint = self.endpoint(addr)
@@ -176,6 +181,15 @@ class Internet:
     def _dns_service(self, src, query: Layer) -> Optional[Layer]:
         if not isinstance(query, DNS) or query.is_response or query.question is None:
             return None
+        question = query.question
+        key = (question.name, question.qtype, question.qclass)
+        template = self._dns_responses.get(key)
+        if template is None:
+            template = self._build_dns_response(query)
+            self._dns_responses[key] = template
+        return template.with_txid(query.txid)
+
+    def _build_dns_response(self, query: DNS) -> DNS:
         question = query.question
         record = self.registry.lookup(question.name)
         if record is None or record.nxdomain:

@@ -8,11 +8,14 @@ repeated runs of the study resolve identically.
 from __future__ import annotations
 
 import ipaddress
+
+from repro.net.ip6 import as_ipv6
+from repro.net.ipv4 import as_ipv4
 from dataclasses import dataclass, field
 from typing import Optional
 
-V4_POOL_BASE = int(ipaddress.IPv4Address("34.0.0.1"))
-V6_POOL_BASE = int(ipaddress.IPv6Address("2600:9000::1"))
+V4_POOL_BASE = int(as_ipv4("34.0.0.1"))
+V6_POOL_BASE = int(as_ipv6("2600:9000::1"))
 
 
 @dataclass
@@ -47,14 +50,14 @@ class DnsRegistry:
         while True:
             value = V4_POOL_BASE + self._v4_cursor
             self._v4_cursor += 1
-            addr = ipaddress.IPv4Address(value)
+            addr = as_ipv4(value)
             if addr.packed[3] not in (0, 255):
                 return addr
 
     def _alloc_v6(self) -> ipaddress.IPv6Address:
         value = V6_POOL_BASE + (self._v6_cursor << 64)
         self._v6_cursor += 1
-        return ipaddress.IPv6Address(value)
+        return as_ipv6(value)
 
     def register(
         self,

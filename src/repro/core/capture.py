@@ -31,10 +31,10 @@ from repro.net.icmpv6 import (
     TYPE_ROUTER_SOLICIT,
 )
 from repro.net.ip6 import AddressScope, UNSPECIFIED, classify_address
-from repro.net.ipv4 import IPv4
+from repro.net.ipv4 import IPv4, as_ipv4
 from repro.net.ipv6 import IPv6
 from repro.net.mac import MacAddress
-from repro.net.packet import DecodeError, has_tcp_decoder
+from repro.net.packet import DecodeError, Raw, has_tcp_decoder
 from repro.net.pcap import PcapRecord
 from repro.net.tcp import TCP
 from repro.net.tls import TLSClientHello
@@ -46,7 +46,7 @@ NON_DATA_UDP_PORTS = {53, 67, 68, 546, 547, 5353}
 
 DEFAULT_LAN_V6 = ipaddress.IPv6Network("2001:db8:100::/64")
 DEFAULT_LAN_V4 = ipaddress.IPv4Network("192.168.10.0/24")
-BROADCAST_V4 = ipaddress.IPv4Address("255.255.255.255")
+BROADCAST_V4 = as_ipv4("255.255.255.255")
 
 
 @dataclass(frozen=True)
@@ -330,10 +330,19 @@ class CaptureIndex:
                 )
                 self._flows[key] = flow
             flow.bytes_out += payload_len
-            if proto == "tcp" and payload_len and has_tcp_decoder(sport, dport):
+            if proto == "tcp" and payload_len and flow.sni is None and has_tcp_decoder(sport, dport):
                 inner = transport.payload
                 if isinstance(inner, TLSClientHello):
                     flow.sni = inner.server_name
+                elif isinstance(inner, Raw) and inner.data[:1] == b"\x16":
+                    # Sender-primed frames carry the hello as an opaque Raw
+                    # payload (the sender built it from bytes); decoded
+                    # frames parse it lazily. Treat both the same so primed
+                    # and re-decoded captures index identically.
+                    try:
+                        flow.sni = TLSClientHello.decode(inner.data).server_name
+                    except DecodeError:
+                        pass
             if family == 6 and payload_len and not flow.is_local:
                 obs = self._address_obs(sender, src_ip, ts)
                 obs.used_for_data = True

@@ -43,6 +43,7 @@ class IoTDevice:
         self.rng = sim.rng_for(f"device/{profile.slug}")
         self.phase: Phase = profile.v6only
         self.network: Optional[NetworkConfig] = None
+        self._matter_payload: Optional[Raw] = None
         self._register_domains()
 
     # ------------------------------------------------------------------ setup
@@ -321,8 +322,13 @@ class IoTDevice:
     def _local_traffic(self) -> None:
         if self.network is None or not self.phase.local_v6:
             return
-        frame = Raw(b"\x05\x40" + self.profile.slug.encode()[:24].ljust(24, b"\x00"))
-        self.stack.udp_send("ff02::1", MATTER_PORT, frame, sport=MATTER_PORT)
+        # The Matter beacon payload never varies per device, so build it once
+        # and let the emit-once path replay the same object every period.
+        payload = self._matter_payload
+        if payload is None:
+            payload = Raw(b"\x05\x40" + self.profile.slug.encode()[:24].ljust(24, b"\x00"))
+            self._matter_payload = payload
+        self.stack.udp_send("ff02::1", MATTER_PORT, payload, sport=MATTER_PORT)
         self.sim.schedule(300.0 + self.rng.uniform(0, 60), self._local_traffic)
 
     # ------------------------------------------------------- functionality test

@@ -44,7 +44,7 @@ from repro.testbed.lab import Testbed
 from repro.testbed.portscan import COMMON_TCP_PORTS, COMMON_UDP_PORTS
 
 # The attacker's globally-routable vantage point, well outside the home /64.
-WAN_SCANNER_V6 = ipaddress.IPv6Address("2001:db8:adad::9")
+WAN_SCANNER_V6 = as_ipv6("2001:db8:adad::9")
 
 DEFAULT_SUFFIX_BUDGET = 1024   # per-OUI NIC-suffix sweep (low production range)
 DEFAULT_LOW_IID_BUDGET = 8192  # ::1 .. ::1fff hitlist (router + DHCPv6 leases)

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import ipaddress
-
+from repro.net.ipv4 import as_ipv4
 from repro.net.mac import MacAddress
 from repro.net.packet import DecodeError, Layer, register_ethertype
 
@@ -19,9 +18,9 @@ class ARP(Layer):
     def __init__(self, op: int, sender_mac, sender_ip, target_mac, target_ip):
         self.op = op
         self.sender_mac = MacAddress(sender_mac)
-        self.sender_ip = ipaddress.IPv4Address(sender_ip)
+        self.sender_ip = as_ipv4(sender_ip)
         self.target_mac = MacAddress(target_mac)
-        self.target_ip = ipaddress.IPv4Address(target_ip)
+        self.target_ip = as_ipv4(target_ip)
         self.payload = None
 
     @classmethod
@@ -53,9 +52,9 @@ class ARP(Layer):
         message = cls(
             int.from_bytes(data[6:8], "big"),
             MacAddress.from_packed(data[8:14]),
-            ipaddress.IPv4Address(data[14:18]),
+            as_ipv4(data[14:18]),
             MacAddress.from_packed(data[18:24]),
-            ipaddress.IPv4Address(data[24:28]),
+            as_ipv4(data[24:28]),
         )
         message.wire_len = len(data)
         return message

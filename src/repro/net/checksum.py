@@ -59,3 +59,48 @@ def transport_checksum(pseudo: bytes, segment: bytes) -> int:
     """
     value = internet_checksum(pseudo + segment)
     return value or 0xFFFF
+
+
+# -- incremental (template) checksums ----------------------------------------
+#
+# The emit-once wire path assembles a packet's checksum from cached partial
+# sums instead of concatenating pseudo-header + segment and re-summing the
+# whole buffer. Because the word sum is additive mod 0xFFFF over even-length
+# pieces, sum(pseudo + segment) ≡ pseudo_sum + segment_sum, so the fixed
+# (src, dst, proto) contribution is computed once per flow and only the
+# varying parts (length words, ports, payload) are folded in per packet.
+#
+# ``fold_checksum`` matches ``internet_checksum`` exactly for every buffer
+# whose big-integer value is non-zero; the all-zero-buffer special case is
+# unreachable here because every covered region contains a non-zero protocol
+# or version word.
+
+
+def partial_sum(data: bytes) -> int:
+    """The 16-bit word sum of ``data`` folded mod 0xFFFF (odd lengths padded)."""
+    if not data:
+        return 0  # pure-ACK TCP segments and empty UDP bodies
+    if len(data) % 2:
+        data += b"\x00"
+    return int.from_bytes(data, "big") % 0xFFFF
+
+
+def fold_checksum(total: int) -> int:
+    """Fold an accumulated word sum into a final Internet checksum."""
+    folded = total % 0xFFFF
+    if folded == 0:
+        folded = 0xFFFF
+    return (~folded) & 0xFFFF
+
+
+@functools.lru_cache(maxsize=1 << 13)
+def pseudo_sum_v6(src: ipaddress.IPv6Address, dst: ipaddress.IPv6Address, next_header: int) -> int:
+    """The fixed word-sum contribution of an IPv6 pseudo-header (addresses
+    plus next-header); the length words are added per packet."""
+    return int.from_bytes(src.packed + dst.packed, "big") % 0xFFFF + next_header
+
+
+@functools.lru_cache(maxsize=1 << 13)
+def pseudo_sum_v4(src: ipaddress.IPv4Address, dst: ipaddress.IPv4Address, proto: int) -> int:
+    """The fixed word-sum contribution of an IPv4 pseudo-header."""
+    return int.from_bytes(src.packed + dst.packed, "big") % 0xFFFF + proto

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import ipaddress
 from typing import Optional
 
 from repro.net.mac import MacAddress
+from repro.net.ipv4 import as_ipv4
 from repro.net.packet import DecodeError, Layer, register_udp_port
 
 SERVER_PORT = 67
@@ -32,7 +32,7 @@ ACK = 5
 
 MSG_NAMES = {DISCOVER: "DISCOVER", OFFER: "OFFER", REQUEST: "REQUEST", ACK: "ACK"}
 
-_ZERO_V4 = ipaddress.IPv4Address("0.0.0.0")
+_ZERO_V4 = as_ipv4("0.0.0.0")
 
 
 class DHCPv4(Layer):
@@ -72,12 +72,12 @@ class DHCPv4(Layer):
         self.xid = xid
         self.client_mac = MacAddress(client_mac)
         self.msg_type = msg_type
-        self.yiaddr = ipaddress.IPv4Address(yiaddr)
-        self.server_id = ipaddress.IPv4Address(server_id) if server_id is not None else None
-        self.requested_ip = ipaddress.IPv4Address(requested_ip) if requested_ip is not None else None
-        self.subnet_mask = ipaddress.IPv4Address(subnet_mask) if subnet_mask is not None else None
-        self.router = ipaddress.IPv4Address(router) if router is not None else None
-        self.dns_servers = [ipaddress.IPv4Address(s) for s in (dns_servers or [])]
+        self.yiaddr = as_ipv4(yiaddr)
+        self.server_id = as_ipv4(server_id) if server_id is not None else None
+        self.requested_ip = as_ipv4(requested_ip) if requested_ip is not None else None
+        self.subnet_mask = as_ipv4(subnet_mask) if subnet_mask is not None else None
+        self.router = as_ipv4(router) if router is not None else None
+        self.dns_servers = [as_ipv4(s) for s in (dns_servers or [])]
         self.lease_time = lease_time
         self.payload = None
 
@@ -121,7 +121,7 @@ class DHCPv4(Layer):
             raise DecodeError("not a DHCPv4 message")
         op = data[0]
         xid = int.from_bytes(data[4:8], "big")
-        yiaddr = ipaddress.IPv4Address(data[16:20])
+        yiaddr = as_ipv4(data[16:20])
         client_mac = MacAddress(data[28:34])
         msg_type = 0
         kwargs: dict = {}
@@ -143,17 +143,17 @@ class DHCPv4(Layer):
             if code == OPT_MESSAGE_TYPE and length == 1:
                 msg_type = body[0]
             elif code == OPT_SUBNET_MASK and length == 4:
-                kwargs["subnet_mask"] = ipaddress.IPv4Address(body)
+                kwargs["subnet_mask"] = as_ipv4(body)
             elif code == OPT_ROUTER and length >= 4:
-                kwargs["router"] = ipaddress.IPv4Address(body[:4])
+                kwargs["router"] = as_ipv4(body[:4])
             elif code == OPT_DNS_SERVERS:
-                dns_servers = [ipaddress.IPv4Address(body[i : i + 4]) for i in range(0, length - 3, 4)]
+                dns_servers = [as_ipv4(body[i : i + 4]) for i in range(0, length - 3, 4)]
             elif code == OPT_REQUESTED_IP and length == 4:
-                kwargs["requested_ip"] = ipaddress.IPv4Address(body)
+                kwargs["requested_ip"] = as_ipv4(body)
             elif code == OPT_LEASE_TIME and length == 4:
                 kwargs["lease_time"] = int.from_bytes(body, "big")
             elif code == OPT_SERVER_ID and length == 4:
-                kwargs["server_id"] = ipaddress.IPv4Address(body)
+                kwargs["server_id"] = as_ipv4(body)
             offset += 2 + length
         if msg_type == 0:
             raise DecodeError("DHCPv4 message lacks a message-type option")

@@ -8,10 +8,10 @@ the *stateful* variants of Table 2.
 
 from __future__ import annotations
 
-import ipaddress
 from typing import Optional
 
 from repro.net.mac import MacAddress
+from repro.net.ip6 import as_ipv6
 from repro.net.packet import DecodeError, Layer, register_udp_port
 
 CLIENT_PORT = 546
@@ -42,7 +42,7 @@ OPT_IAADDR = 5
 OPT_ORO = 6
 OPT_DNS_SERVERS = 23
 
-ALL_DHCP_RELAY_AGENTS_AND_SERVERS = ipaddress.IPv6Address("ff02::1:2")
+ALL_DHCP_RELAY_AGENTS_AND_SERVERS = as_ipv6("ff02::1:2")
 
 
 def duid_ll(mac: MacAddress) -> bytes:
@@ -56,7 +56,7 @@ class IAAddress:
     __slots__ = ("address", "preferred_lifetime", "valid_lifetime")
 
     def __init__(self, address, preferred_lifetime: int = 3600, valid_lifetime: int = 7200):
-        self.address = ipaddress.IPv6Address(address)
+        self.address = as_ipv6(address)
         self.preferred_lifetime = preferred_lifetime
         self.valid_lifetime = valid_lifetime
 
@@ -109,7 +109,7 @@ class DHCPv6(Layer):
         self.has_ia_na = has_ia_na or bool(ia_addresses)
         self.ia_addresses = ia_addresses or []
         self.requested_options = requested_options or []
-        self.dns_servers = [ipaddress.IPv6Address(s) for s in (dns_servers or [])]
+        self.dns_servers = [as_ipv6(s) for s in (dns_servers or [])]
         self.payload = None
 
     # -- constructors --------------------------------------------------------
@@ -188,7 +188,7 @@ class DHCPv6(Layer):
                     if sub_code == OPT_IAADDR and sub_len >= 24:
                         message.ia_addresses.append(
                             IAAddress(
-                                ipaddress.IPv6Address(sub_body[0:16]),
+                                as_ipv6(sub_body[0:16]),
                                 int.from_bytes(sub_body[16:20], "big"),
                                 int.from_bytes(sub_body[20:24], "big"),
                             )
@@ -200,7 +200,7 @@ class DHCPv6(Layer):
                 ]
             elif code == OPT_DNS_SERVERS:
                 message.dns_servers = [
-                    ipaddress.IPv6Address(body[i : i + 16]) for i in range(0, len(body) - 15, 16)
+                    as_ipv6(body[i : i + 16]) for i in range(0, len(body) - 15, 16)
                 ]
             offset += 4 + length
         message.wire_len = len(data)

@@ -35,7 +35,7 @@ class FrameCache:
     order of retention as the capture itself.
     """
 
-    __slots__ = ("_frames", "capacity", "hits", "misses", "decode_errors")
+    __slots__ = ("_frames", "capacity", "hits", "misses", "decode_errors", "primes", "prime_hits")
 
     def __init__(self, capacity: Optional[int] = None):
         if capacity is not None and capacity <= 0:
@@ -45,6 +45,8 @@ class FrameCache:
         self.hits = 0
         self.misses = 0
         self.decode_errors = 0
+        self.primes = 0
+        self.prime_hits = 0
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -53,6 +55,43 @@ class FrameCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def encode_count(self) -> int:
+        """Frames that entered the cache from the transmit side (every
+        ``prime`` call, whether or not the bytes were already cached)."""
+        return self.primes + self.prime_hits
+
+    @property
+    def decode_count(self) -> int:
+        """Frames that actually paid an ``Ethernet.decode`` parse."""
+        return self.misses
+
+    @property
+    def prime_rate(self) -> float:
+        """Fraction of transmitted frames whose structured object was newly
+        installed by the sender (the rest were byte-identical repeats)."""
+        total = self.primes + self.prime_hits
+        return self.primes / total if total else 0.0
+
+    def prime(self, data: bytes, frame: Ethernet) -> Ethernet:
+        """Install the sender's structured ``frame`` for ``data`` before any
+        receiver asks to decode it.
+
+        Returns the cached object for those bytes: the freshly primed frame,
+        or the already-cached one when a byte-identical frame was seen before
+        (retransmits, periodic RAs) — so every consumer shares one object per
+        distinct content, exactly as ``decode`` guarantees.
+        """
+        cached = self._frames.get(data, _MISSING)
+        if cached is not _MISSING:
+            self.prime_hits += 1
+            return cached
+        self.primes += 1
+        if self.capacity is not None and len(self._frames) >= self.capacity:
+            self._frames.pop(next(iter(self._frames)))
+        self._frames[data] = frame
+        return frame
 
     def decode(self, data: bytes) -> Optional[Ethernet]:
         """The decoded frame for ``data``, parsing at most once per content."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 import ipaddress
 from typing import Optional
 
-from repro.net.checksum import ipv6_pseudo_header, transport_checksum
+from repro.net.checksum import fold_checksum, ipv6_pseudo_header, partial_sum, pseudo_sum_v6, transport_checksum
 from repro.net.ip6 import as_ipv6
 from repro.net.mac import MacAddress
 from repro.net.ip6 import intern_ipv6
@@ -351,10 +351,13 @@ class ICMPv6(Layer):
 
     def encode_transport(self, src, dst) -> bytes:
         body = self._message_body()
-        message = bytes([self.icmp_type, self.code]) + b"\x00\x00" + body
-        pseudo = ipv6_pseudo_header(src, dst, 58, len(message))
-        checksum = transport_checksum(pseudo, message)
-        return message[:2] + checksum.to_bytes(2, "big") + body
+        length = 4 + len(body)
+        checksum = (
+            fold_checksum(pseudo_sum_v6(src, dst, 58) + length + ((self.icmp_type << 8) | self.code) + partial_sum(body))
+            or 0xFFFF
+        )
+        self.wire_len = length
+        return bytes([self.icmp_type, self.code]) + checksum.to_bytes(2, "big") + body
 
     def encode(self) -> bytes:
         body = self._message_body()

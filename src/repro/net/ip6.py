@@ -24,9 +24,6 @@ from repro.net.mac import MacAddress
 IPv6 = ipaddress.IPv6Address
 AnyV6 = Union[str, int, bytes, ipaddress.IPv6Address]
 
-ALL_NODES = ipaddress.IPv6Address("ff02::1")
-ALL_ROUTERS = ipaddress.IPv6Address("ff02::2")
-UNSPECIFIED = ipaddress.IPv6Address("::")
 LINK_LOCAL_PREFIX = ipaddress.IPv6Network("fe80::/64")
 ULA_PREFIX = ipaddress.IPv6Network("fc00::/7")
 GLOBAL_UNICAST_PREFIX = ipaddress.IPv6Network("2000::/3")
@@ -44,17 +41,6 @@ class AddressScope(enum.Enum):
     OTHER = "other"
 
 
-def as_ipv6(value: AnyV6) -> ipaddress.IPv6Address:
-    """Coerce any reasonable representation to an ``IPv6Address``."""
-    if isinstance(value, ipaddress.IPv6Address):
-        return value
-    if isinstance(value, bytes):
-        if len(value) != 16:
-            raise ValueError("packed IPv6 address must be 16 bytes")
-        return ipaddress.IPv6Address(value)
-    return ipaddress.IPv6Address(value)
-
-
 class _InternedIPv6Address(ipaddress.IPv6Address):
     """An ``IPv6Address`` whose hash is computed once.
 
@@ -65,10 +51,15 @@ class _InternedIPv6Address(ipaddress.IPv6Address):
     ``IPv6Address`` keys.
     """
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash", "_scope")
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # The base class pickles by value and would rebuild without ``_hash``;
+        # round-trip through the factory so fleet workers re-intern on load.
+        return (intern_ipv6, (self.packed,))
 
 
 @functools.lru_cache(maxsize=1 << 16)
@@ -84,14 +75,47 @@ def intern_ipv6(packed: bytes) -> ipaddress.IPv6Address:
     return addr
 
 
-@functools.lru_cache(maxsize=1 << 16)
+def as_ipv6(value: AnyV6) -> ipaddress.IPv6Address:
+    """Coerce any reasonable representation to an interned ``IPv6Address``.
+
+    Always returns an interned instance: addresses key the simulation's
+    hottest dict lookups (endpoint tables, neighbor caches, encode-template
+    caches), and the interned subclass's precomputed hash is what keeps
+    those probes cheap.
+    """
+    if type(value) is _InternedIPv6Address:
+        return value
+    if isinstance(value, ipaddress.IPv6Address):
+        return intern_ipv6(value.packed)
+    if isinstance(value, bytes):
+        if len(value) != 16:
+            raise ValueError("packed IPv6 address must be 16 bytes")
+        return intern_ipv6(value)
+    return intern_ipv6(ipaddress.IPv6Address(value).packed)
+
+
+ALL_NODES = as_ipv6("ff02::1")
+ALL_ROUTERS = as_ipv6("ff02::2")
+UNSPECIFIED = as_ipv6("::")
+
+
 def classify_address(addr: AnyV6) -> AddressScope:
     """Classify an IPv6 address into the paper's taxonomy.
 
-    Cached: classification is pure and the analysis pipeline asks about the
-    same addresses once per frame per consumer.
+    Memoized on the interned address object itself: classification is pure,
+    every packet receive asks about its (interned) destination, and an
+    attribute read is cheaper than any cache lookup keyed by address.
     """
-    a = as_ipv6(addr)
+    a = addr if type(addr) is _InternedIPv6Address else as_ipv6(addr)
+    try:
+        return a._scope
+    except AttributeError:
+        scope = _classify(a)
+        a._scope = scope
+        return scope
+
+
+def _classify(a: ipaddress.IPv6Address) -> AddressScope:
     if a == UNSPECIFIED:
         return AddressScope.UNSPECIFIED
     if a.is_loopback:
@@ -150,7 +174,7 @@ def from_prefix_and_iid(prefix: AnyV6, iid: bytes) -> ipaddress.IPv6Address:
     """Combine a /64 prefix with an 8-byte interface identifier."""
     if len(iid) != 8:
         raise ValueError("interface identifier must be 8 bytes")
-    return ipaddress.IPv6Address(as_ipv6(prefix).packed[:8] + iid)
+    return intern_ipv6(as_ipv6(prefix).packed[:8] + iid)
 
 
 def stable_interface_id(prefix: AnyV6, mac: MacAddress, secret: bytes, dad_counter: int = 0) -> bytes:
@@ -188,7 +212,7 @@ def solicited_node_multicast(addr: AnyV6) -> ipaddress.IPv6Address:
     """The solicited-node multicast group for a unicast address (cached:
     every neighbor solicitation recomputes the same mapping)."""
     low24 = as_ipv6(addr).packed[13:]
-    return ipaddress.IPv6Address(b"\xff\x02" + b"\x00" * 9 + b"\x01\xff" + low24)
+    return intern_ipv6(b"\xff\x02" + b"\x00" * 9 + b"\x01\xff" + low24)
 
 
 @functools.lru_cache(maxsize=1 << 14)

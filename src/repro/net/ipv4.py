@@ -5,18 +5,12 @@ from __future__ import annotations
 import functools
 import ipaddress
 
-from repro.net.checksum import internet_checksum
+from repro.net.checksum import fold_checksum
 from repro.net.packet import IP_PROTO_DECODERS, DecodeError, Layer, Raw, register_ethertype
 
 PROTO_ICMP = 1
 PROTO_TCP = 6
 PROTO_UDP = 17
-
-
-def as_ipv4(value) -> ipaddress.IPv4Address:
-    if isinstance(value, ipaddress.IPv4Address):
-        return value
-    return ipaddress.IPv4Address(value)
 
 
 class _InternedIPv4Address(ipaddress.IPv4Address):
@@ -27,6 +21,11 @@ class _InternedIPv4Address(ipaddress.IPv4Address):
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # The base class pickles by value and would rebuild without ``_hash``;
+        # round-trip through the factory so fleet workers re-intern on load.
+        return (intern_ipv4, (self.packed,))
+
 
 @functools.lru_cache(maxsize=1 << 16)
 def intern_ipv4(packed: bytes) -> ipaddress.IPv4Address:
@@ -34,6 +33,32 @@ def intern_ipv4(packed: bytes) -> ipaddress.IPv4Address:
     addr = _InternedIPv4Address(packed)
     addr._hash = ipaddress.IPv4Address.__hash__(addr)
     return addr
+
+
+def as_ipv4(value) -> ipaddress.IPv4Address:
+    """Coerce to an interned ``IPv4Address`` (precomputed hash; see ip6)."""
+    if type(value) is _InternedIPv4Address:
+        return value
+    if isinstance(value, ipaddress.IPv4Address):
+        return intern_ipv4(value.packed)
+    if isinstance(value, bytes):
+        if len(value) != 4:
+            raise ValueError("packed IPv4 address must be 4 bytes")
+        return intern_ipv4(value)
+    return intern_ipv4(ipaddress.IPv4Address(value).packed)
+
+
+# Within a flow only total_length (and therefore the header checksum)
+# varies, so the header is a template: fixed chunks plus the precomputed
+# word sum of every fixed field. The per-packet checksum is one fold of
+# ``fixed_sum + total_length`` — additivity of the 16-bit word sum mod
+# 0xFFFF over the header words.
+@functools.lru_cache(maxsize=1 << 13)
+def _header_template(src, dst, proto: int, ttl: int, identification: int):
+    mid = identification.to_bytes(2, "big") + b"\x00\x00" + bytes([ttl, proto])
+    addrs = src.packed + dst.packed
+    fixed_sum = (0x4500 + identification + ((ttl << 8) | proto) + int.from_bytes(addrs, "big")) % 0xFFFF
+    return mid, addrs, fixed_sum
 
 
 class IPv4(Layer):
@@ -60,16 +85,16 @@ class IPv4(Layer):
     def encode(self) -> bytes:
         body = self._payload_bytes()
         total_length = 20 + len(body)
-        header = bytearray(20)
-        header[0] = (4 << 4) | 5  # version + IHL
-        header[2:4] = total_length.to_bytes(2, "big")
-        header[4:6] = self.identification.to_bytes(2, "big")
-        header[8] = self.ttl
-        header[9] = self.proto
-        header[12:16] = self.src.packed
-        header[16:20] = self.dst.packed
-        header[10:12] = internet_checksum(bytes(header)).to_bytes(2, "big")
-        return bytes(header) + body
+        mid, addrs, fixed_sum = _header_template(self.src, self.dst, self.proto, self.ttl, self.identification)
+        checksum = fold_checksum(fixed_sum + total_length)
+        self.wire_len = total_length
+        return (
+            (0x45000000 | total_length).to_bytes(4, "big")
+            + mid
+            + checksum.to_bytes(2, "big")
+            + addrs
+            + body
+        )
 
     @classmethod
     def decode(cls, data: bytes) -> "IPv4":

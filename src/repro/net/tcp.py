@@ -8,10 +8,30 @@ exchanges the analysis pipeline (and the port scanner) can interpret.
 
 from __future__ import annotations
 
+import functools
 import ipaddress
 
-from repro.net.checksum import ipv4_pseudo_header, ipv6_pseudo_header, transport_checksum
+from repro.net.checksum import (
+    fold_checksum,
+    ipv4_pseudo_header,
+    ipv6_pseudo_header,
+    partial_sum,
+    pseudo_sum_v4,
+    pseudo_sum_v6,
+    transport_checksum,
+)
 from repro.net.packet import UNPARSED, DecodeError, Layer, decode_tcp_payload, register_ip_proto
+
+
+@functools.lru_cache(maxsize=1 << 13)
+def _port_prefix(sport: int, dport: int) -> bytes:
+    return sport.to_bytes(2, "big") + dport.to_bytes(2, "big")
+
+
+@functools.lru_cache(maxsize=256)
+def _flags_window(flags: int, window: int) -> bytes:
+    return bytes([(5 << 4), flags & 0x3F]) + window.to_bytes(2, "big")
+
 
 FLAG_FIN = 0x01
 FLAG_SYN = 0x02
@@ -158,12 +178,33 @@ class TCP(Layer):
         body = self._payload_bytes()
         length = 20 + len(body)
         if isinstance(src, ipaddress.IPv6Address):
-            pseudo = ipv6_pseudo_header(src, dst, 6, length)
+            fixed = pseudo_sum_v6(src, dst, 6)
         else:
-            pseudo = ipv4_pseudo_header(src, dst, 6, length)
-        header = self._header(0)
-        checksum = transport_checksum(pseudo, header + body)
-        return header[:16] + checksum.to_bytes(2, "big") + header[18:] + body
+            fixed = pseudo_sum_v4(src, dst, 6)
+        seq = self.seq & 0xFFFFFFFF
+        ack = self.ack & 0xFFFFFFFF
+        header_sum = (
+            self.sport
+            + self.dport
+            + (seq >> 16)
+            + (seq & 0xFFFF)
+            + (ack >> 16)
+            + (ack & 0xFFFF)
+            + ((5 << 12) | (self.flags & 0x3F))
+            + self.window
+        )
+        checksum = fold_checksum(fixed + length + header_sum + partial_sum(body)) or 0xFFFF
+        self.wire_len = length
+        payload = self._payload
+        if payload is not None and payload is not UNPARSED and payload.wire_len is None:
+            payload.wire_len = len(body)
+        return (
+            _port_prefix(self.sport, self.dport)
+            + ((seq << 32) | ack).to_bytes(8, "big")
+            + _flags_window(self.flags, self.window)
+            + (checksum << 16).to_bytes(4, "big")  # checksum + zero urgent pointer
+            + body
+        )
 
     def encode(self) -> bytes:
         return self._header(0) + self._payload_bytes()

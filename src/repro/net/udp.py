@@ -8,10 +8,24 @@ filters — read ``payload_wire_len`` and never pay the application parse.
 
 from __future__ import annotations
 
+import functools
 import ipaddress
 
-from repro.net.checksum import ipv4_pseudo_header, ipv6_pseudo_header, transport_checksum
+from repro.net.checksum import (
+    fold_checksum,
+    ipv4_pseudo_header,
+    ipv6_pseudo_header,
+    partial_sum,
+    pseudo_sum_v4,
+    pseudo_sum_v6,
+    transport_checksum,
+)
 from repro.net.packet import UNPARSED, DecodeError, Layer, decode_udp_payload, register_ip_proto
+
+
+@functools.lru_cache(maxsize=1 << 13)
+def _port_prefix(sport: int, dport: int) -> bytes:
+    return sport.to_bytes(2, "big") + dport.to_bytes(2, "big")
 
 
 class UDP(Layer):
@@ -111,18 +125,18 @@ class UDP(Layer):
     def encode_transport(self, src, dst) -> bytes:
         body = self._payload_bytes()
         length = 8 + len(body)
-        header = (
-            self.sport.to_bytes(2, "big")
-            + self.dport.to_bytes(2, "big")
-            + length.to_bytes(2, "big")
-            + b"\x00\x00"
-        )
         if isinstance(src, ipaddress.IPv6Address):
-            pseudo = ipv6_pseudo_header(src, dst, 17, length)
+            fixed = pseudo_sum_v6(src, dst, 17)
         else:
-            pseudo = ipv4_pseudo_header(src, dst, 17, length)
-        checksum = transport_checksum(pseudo, header + body)
-        return header[:6] + checksum.to_bytes(2, "big") + body
+            fixed = pseudo_sum_v4(src, dst, 17)
+        # The length word appears twice in the covered data: once in the
+        # pseudo-header and once in the UDP header itself.
+        checksum = fold_checksum(fixed + 2 * length + self.sport + self.dport + partial_sum(body)) or 0xFFFF
+        self.wire_len = length
+        payload = self._payload
+        if payload is not None and payload is not UNPARSED and payload.wire_len is None:
+            payload.wire_len = len(body)
+        return _port_prefix(self.sport, self.dport) + ((length << 16) | checksum).to_bytes(4, "big") + body
 
     def encode(self) -> bytes:
         """Encode without a pseudo-header (checksum zeroed); used only when a

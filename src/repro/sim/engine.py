@@ -26,8 +26,12 @@ class Event:
             return
         self.cancelled = True
         if self._sim is not None:
-            self._sim._live -= 1
+            sim = self._sim
+            sim._live -= 1
+            sim._dead += 1
             self._sim = None
+            if sim._dead > 64 and sim._dead * 2 > len(sim._queue):
+                sim._compact()
 
     def __lt__(self, other: "Event") -> bool:
         # Heap entries are (time, seq, event) tuples so ordering resolves on
@@ -51,6 +55,8 @@ class Simulator:
         self._sequence = itertools.count()
         self._rng = random.Random(seed)
         self._live = 0  # not-yet-fired, not-cancelled events (O(1) `pending`)
+        self._dead = 0  # cancelled tuples still sitting in the heap
+        self.compactions = 0
 
     def rng_for(self, name: str) -> random.Random:
         """A child RNG with a stream derived from (seed, name)."""
@@ -69,11 +75,27 @@ class Simulator:
         """Run ``callback(*args)`` at absolute virtual time ``time``."""
         return self.schedule(time - self.now, callback, *args)
 
+    def _compact(self) -> None:
+        """Drop cancelled tuples and re-heapify.
+
+        Cancellation is lazy (the heap tuple stays until popped), which is
+        O(1) per cancel but lets retransmit timers that are almost always
+        cancelled — DHCP, NDP, TCP — accumulate dead entries without bound.
+        ``cancel`` triggers this rebuild once dead tuples outnumber live
+        ones, keeping the heap O(live) while amortizing the rebuild to O(1)
+        per cancellation.
+        """
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
+        self.compactions += 1
+
     def run_until(self, time: float) -> None:
         """Process events up to and including virtual time ``time``."""
         while self._queue and self._queue[0][0] <= time:
             event = heapq.heappop(self._queue)[2]
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._live -= 1
             event._sim = None  # a later cancel() must not decrement again
@@ -92,6 +114,7 @@ class Simulator:
                 return
             event = heapq.heappop(self._queue)[2]
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._live -= 1
             event._sim = None

@@ -21,6 +21,8 @@ if TYPE_CHECKING:
 Tap = Callable[[float, bytes], None]
 FrameTap = Callable[[float, bytes, "Optional[Ethernet]"], None]
 
+_BROADCAST_BYTES = b"\xff\xff\xff\xff\xff\xff"
+
 
 class EthernetLink:
     """A zero-loss switched segment.
@@ -49,6 +51,16 @@ class EthernetLink:
         self._promiscuous: list["Nic"] = []
         self._taps: list[Tap] = []
         self._frame_taps: list[FrameTap] = []
+        # Flood membership memo: multicast dst bytes -> NICs whose filter
+        # accepts that group, in attach order. Group membership changes
+        # rarely (joins happen during address configuration); recomputing the
+        # accept predicate for all ~95 NICs on every NDP multicast would
+        # otherwise dominate delivery.
+        self._flood: dict[bytes, tuple["Nic", ...]] = {}
+
+    def invalidate_flood(self) -> None:
+        """Drop memoized flood member lists (after join/leave/attach)."""
+        self._flood.clear()
 
     def attach(self, nic: "Nic") -> None:
         if nic in self._nics:
@@ -57,17 +69,20 @@ class EthernetLink:
         self._by_mac[nic.mac.packed] = nic
         if nic.promiscuous:
             self._promiscuous.append(nic)
+        self._flood.clear()
 
     def detach(self, nic: "Nic") -> None:
         self._nics.remove(nic)
         self._by_mac.pop(nic.mac.packed, None)
         if nic in self._promiscuous:
             self._promiscuous.remove(nic)
+        self._flood.clear()
 
     def rebind(self, nic: "Nic", old_mac: bytes) -> None:
         """Update the switching table after a NIC's MAC changes."""
         self._by_mac.pop(old_mac, None)
         self._by_mac[nic.mac.packed] = nic
+        self._flood.clear()
 
     def add_tap(self, tap: Tap) -> None:
         """Register a capture callback invoked for every transmitted frame."""
@@ -88,12 +103,23 @@ class EthernetLink:
     def remove_frame_tap(self, tap: FrameTap) -> None:
         self._frame_taps.remove(tap)
 
-    def transmit(self, sender: "Nic", frame: bytes) -> None:
-        """Deliver ``frame`` after the link latency (one event per frame)."""
+    def transmit(self, sender: "Nic", frame: bytes, decoded: "Optional[Ethernet]" = None) -> None:
+        """Deliver ``frame`` after the link latency (one event per frame).
+
+        When the sender supplies its structured ``decoded`` object
+        (:meth:`Nic.send` always does), the frame cache is primed *before*
+        any tap or receiver observes the frame, so the whole segment shares
+        the sender's layer chain and the steady-state decode count is zero.
+        Byte-identical retransmissions keep the first cached object, exactly
+        as decode-side caching would.
+        """
+        if decoded is not None:
+            decoded = self.frames.prime(frame, decoded)
         for tap in self._taps:
             tap(self.sim.now, frame)
         if self._frame_taps:
-            decoded = self.frames.decode(frame)
+            if decoded is None:
+                decoded = self.frames.decode(frame)
             for frame_tap in self._frame_taps:
                 frame_tap(self.sim.now, frame, decoded)
         if len(frame) < 6:
@@ -105,21 +131,55 @@ class EthernetLink:
             delay = self.impairment.transit_delay(self.sim.now, delay)
             if delay is None:
                 return
-        self.sim.schedule(delay, self._deliver, sender, frame)
+        self.sim.schedule(delay, self._deliver, sender, frame, decoded)
 
-    def _deliver(self, sender: "Nic", frame: bytes) -> None:
+    def _deliver(self, sender: "Nic", frame: bytes, decoded: "Optional[Ethernet]" = None) -> None:
+        """Switch a frame to its receivers with the MAC filter inlined.
+
+        The flood path runs once per NIC per multicast frame — the hottest
+        loop in the simulation — so the per-NIC accept check happens here
+        (same predicate as :meth:`Nic.deliver`) and accepted frames go
+        straight to ``node.handle_frame``. The decode fallback stays lazy:
+        a raw frame nobody accepts is never parsed.
+        """
+        if len(frame) < 14:
+            return
         dst = frame[0:6]
-        if dst[0] & 0x01:  # multicast / broadcast: flood
-            for nic in self._nics:
-                if nic is not sender:
-                    nic.deliver(frame)
+        if dst[0] & 0x01:  # multicast / broadcast: flood to group members
+            members = self._flood.get(dst)
+            if members is None:
+                if dst == _BROADCAST_BYTES:
+                    members = tuple(self._nics)
+                else:
+                    members = tuple(
+                        nic
+                        for nic in self._nics
+                        if nic.promiscuous or dst in nic._multicast_bytes or dst == nic._mac_bytes
+                    )
+                self._flood[dst] = members
+            for nic in members:
+                if nic is sender:
+                    continue
+                if decoded is None:
+                    decoded = self.frames.decode(frame)
+                    if decoded is None:
+                        return
+                nic.node.handle_frame(nic, decoded)
             return
         owner = self._by_mac.get(dst)
         if owner is not None and owner is not sender:
-            owner.deliver(frame)
+            if decoded is None:
+                decoded = self.frames.decode(frame)
+                if decoded is None:
+                    return
+            owner.node.handle_frame(owner, decoded)
         for nic in self._promiscuous:
             if nic is not sender and nic is not owner:
-                nic.deliver(frame)
+                if decoded is None:
+                    decoded = self.frames.decode(frame)
+                    if decoded is None:
+                        return
+                nic.node.handle_frame(nic, decoded)
 
     def __repr__(self) -> str:
         return f"EthernetLink({self.name}, nics={len(self._nics)})"

@@ -34,15 +34,25 @@ class Nic:
         mac = MacAddress(mac)
         self._multicast.add(mac)
         self._multicast_bytes.add(mac.packed)
+        self.link.invalidate_flood()
 
     def leave_multicast(self, mac: MacAddress) -> None:
         mac = MacAddress(mac)
         self._multicast.discard(mac)
         self._multicast_bytes.discard(mac.packed)
+        self.link.invalidate_flood()
 
-    def send(self, frame: Ethernet) -> None:
-        """Serialize and put a frame on the wire."""
-        self.link.transmit(self, frame.encode())
+    def send(self, frame: Ethernet, wire: "bytes | None" = None) -> None:
+        """Serialize and put a frame on the wire.
+
+        The structured ``frame`` rides along with its bytes so the link can
+        prime its :class:`~repro.net.framecache.FrameCache` before delivery:
+        receivers and taps share the sender's object and never re-parse.
+        Callers that resend an identical frame periodically (the router's
+        RAs) may pass the previously encoded ``wire`` bytes to skip even the
+        template-assisted encode.
+        """
+        self.link.transmit(self, frame.encode() if wire is None else wire, frame)
 
     def send_raw(self, frame: bytes) -> None:
         self.link.transmit(self, frame)
@@ -52,13 +62,13 @@ class Nic:
             return True
         return dst in self._multicast
 
-    def deliver(self, frame: bytes) -> None:
+    def deliver(self, frame: bytes, decoded: "Ethernet | None" = None) -> None:
         """Called by the link; filters by destination and hands up.
 
         Filtering happens on the raw destination bytes, so a NIC that drops
-        a frame never pays for decoding it; accepted frames decode through
-        the link's shared :class:`~repro.net.framecache.FrameCache`, so a
-        multicast flood is parsed once for the whole segment.
+        a frame never pays for decoding it. The link passes the sender-primed
+        ``decoded`` object along; only raw transmissions (``send_raw``) fall
+        back to the shared :class:`~repro.net.framecache.FrameCache`.
         """
         if len(frame) < 14:
             return
@@ -70,9 +80,10 @@ class Nic:
             or dst == _BROADCAST_BYTES
         ):
             return
-        decoded = self.link.frames.decode(frame)
         if decoded is None:
-            return
+            decoded = self.link.frames.decode(frame)
+            if decoded is None:
+                return
         self.node.handle_frame(self, decoded)
 
     def __repr__(self) -> str:

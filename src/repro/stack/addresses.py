@@ -40,6 +40,17 @@ class AddressRecord:
         self.scope = classify_address(self.address)
 
 
+# RFC 6724-style scope preference orders, hoisted: ``best_source`` runs once
+# per transmitted packet and must not rebuild these lists each time.
+_SCOPE_PREFERENCE = {
+    AddressScope.LLA: (AddressScope.LLA, AddressScope.ULA, AddressScope.GUA),
+    AddressScope.ULA: (AddressScope.ULA, AddressScope.GUA, AddressScope.LLA),
+    AddressScope.GUA: (AddressScope.GUA, AddressScope.ULA, AddressScope.LLA),
+    AddressScope.MULTICAST: (AddressScope.LLA, AddressScope.ULA, AddressScope.GUA),
+}
+_DEFAULT_PREFERENCE = (AddressScope.GUA, AddressScope.ULA, AddressScope.LLA)
+
+
 class AddressManager:
     """Generates and tracks a host's IPv6 addresses."""
 
@@ -110,12 +121,7 @@ class AddressManager:
     def best_source(self, dst: ipaddress.IPv6Address) -> Optional[AddressRecord]:
         """A simplified RFC 6724 source selection: match scope, prefer newest."""
         dst_scope = classify_address(dst)
-        preference = {
-            AddressScope.LLA: [AddressScope.LLA, AddressScope.ULA, AddressScope.GUA],
-            AddressScope.ULA: [AddressScope.ULA, AddressScope.GUA, AddressScope.LLA],
-            AddressScope.GUA: [AddressScope.GUA, AddressScope.ULA, AddressScope.LLA],
-            AddressScope.MULTICAST: [AddressScope.LLA, AddressScope.ULA, AddressScope.GUA],
-        }.get(dst_scope, [AddressScope.GUA, AddressScope.ULA, AddressScope.LLA])
+        preference = _SCOPE_PREFERENCE.get(dst_scope, _DEFAULT_PREFERENCE)
         for scope in preference:
             candidates = self.assigned(scope)
             if candidates:

@@ -75,8 +75,8 @@ from repro.stack.config import DnsServers, StackConfig
 from repro.stack.neighbor import ResolutionCache
 from repro.stack.tcpflows import TcpEngine
 
-BROADCAST_V4 = ipaddress.IPv4Address("255.255.255.255")
-ZERO_V4 = ipaddress.IPv4Address("0.0.0.0")
+BROADCAST_V4 = as_ipv4("255.255.255.255")
+ZERO_V4 = as_ipv4("0.0.0.0")
 
 DAD_DELAY = 1.0
 RS_INTERVAL = 4.0
@@ -260,7 +260,7 @@ class HostStack(Node):
     def _ula_prefix(self) -> ipaddress.IPv6Network:
         seed = self.config.ula_prefix_seed or self.name
         digest = abs(hash(("ula", seed))) & 0xFFFFFFFFFF
-        base = int(ipaddress.IPv6Address("fd00::")) | (digest << 80)
+        base = int(as_ipv6("fd00::")) | (digest << 80)
         return ipaddress.IPv6Network((base, 64))
 
     def _form_ulas(self) -> None:
@@ -535,9 +535,14 @@ class HostStack(Node):
         if not self.config.ipv6_enabled or self.ipv6_shutdown or not self._ipv6_active:
             return
         dst = packet.dst
-        dst_scope = classify_address(dst)
-        if dst_scope != AddressScope.MULTICAST and not self.addrs.owns(dst) and not self._dad_target(dst):
-            return
+        # One address-table probe decides acceptance: a unicast destination
+        # is ours if we hold a record for it — assigned (deliver) or
+        # tentative (a DAD collision we must observe either way).
+        record = None
+        if classify_address(dst) != AddressScope.MULTICAST:
+            record = self.addrs.get(dst)
+            if record is None:
+                return
         payload = packet.payload
         if isinstance(payload, ICMPv6):
             self._rx_icmpv6(packet, payload)
@@ -549,7 +554,7 @@ class HostStack(Node):
                 self._handle_dns_response(inner)
             else:
                 self._rx_udp(packet.src, payload, family=6)
-        elif isinstance(payload, TCP) and self.addrs.owns(dst):
+        elif isinstance(payload, TCP) and record is not None and not record.tentative:
             if self.tcp_monitor is not None and self.tcp_monitor(dst, packet.src, payload, 6):
                 return
             self.tcp6.on_segment(dst, packet.src, payload)

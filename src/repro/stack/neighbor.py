@@ -3,15 +3,16 @@
 from __future__ import annotations
 
 import ipaddress
-from dataclasses import dataclass, field
 
 from repro.net.mac import MacAddress
 
 
-@dataclass
 class _Entry:
-    mac: MacAddress | None = None
-    pending: list = field(default_factory=list)
+    __slots__ = ("mac", "pending")
+
+    def __init__(self):
+        self.mac: MacAddress | None = None
+        self.pending: list = []
 
 
 class ResolutionCache:
@@ -30,16 +31,26 @@ class ResolutionCache:
         return entry.mac if entry else None
 
     def learn(self, addr, mac: MacAddress) -> list:
-        """Record a mapping; returns queued packets now deliverable."""
-        entry = self._entries.setdefault(addr, _Entry())
-        entry.mac = MacAddress(mac)
-        pending, entry.pending = entry.pending, []
+        """Record a mapping; returns queued packets now deliverable.
+
+        The router calls this for every LAN frame it receives, so the
+        steady-state path (entry exists, nothing queued) must not allocate.
+        """
+        entry = self._entries.get(addr)
+        if entry is None:
+            entry = self._entries[addr] = _Entry()
+        entry.mac = mac if type(mac) is MacAddress else MacAddress(mac)
+        pending = entry.pending
+        if pending:
+            entry.pending = []
         return pending
 
     def enqueue(self, addr, item) -> bool:
         """Queue an item pending resolution; returns False if this address
         already has an in-flight resolution (no new solicitation needed)."""
-        entry = self._entries.setdefault(addr, _Entry())
+        entry = self._entries.get(addr)
+        if entry is None:
+            entry = self._entries[addr] = _Entry()
         already_resolving = bool(entry.pending)
         if len(entry.pending) < self._max_pending:
             entry.pending.append(item)

@@ -61,12 +61,13 @@ from repro.net.ip6 import (
     ALL_NODES,
     AddressScope,
     UNSPECIFIED,
+    as_ipv6,
     classify_address,
     link_local_from_mac,
     multicast_mac,
     solicited_node_multicast,
 )
-from repro.net.ipv4 import IPv4
+from repro.net.ipv4 import IPv4, as_ipv4
 from repro.net.ipv6 import IPv6
 from repro.net.mac import MacAddress
 from repro.net.tcp import TCP
@@ -82,8 +83,8 @@ if TYPE_CHECKING:
     from repro.faults.inject import RouterFaultState
 
 RA_INTERVAL = 30.0
-BROADCAST_V4 = ipaddress.IPv4Address("255.255.255.255")
-ZERO_V4 = ipaddress.IPv4Address("0.0.0.0")
+BROADCAST_V4 = as_ipv4("255.255.255.255")
+ZERO_V4 = as_ipv4("0.0.0.0")
 
 
 class Router(Node):
@@ -109,13 +110,13 @@ class Router(Node):
         self.rng = sim.rng_for("router")
 
         self.lan_v4_network = ipaddress.IPv4Network(lan_v4_network)
-        self.v4_address = ipaddress.IPv4Address(int(self.lan_v4_network.network_address) + 1)
-        self.wan_v4_address = ipaddress.IPv4Address(wan_v4_address)
+        self.v4_address = as_ipv4(int(self.lan_v4_network.network_address) + 1)
+        self.wan_v4_address = as_ipv4(wan_v4_address)
         self.lan_v6_prefix = ipaddress.IPv6Network(lan_v6_prefix)
-        self.v6_gua = ipaddress.IPv6Address(int(self.lan_v6_prefix.network_address) + 1)
+        self.v6_gua = as_ipv6(int(self.lan_v6_prefix.network_address) + 1)
         self.v6_lla = link_local_from_mac(self.mac)
-        self.dns_v4 = ipaddress.IPv4Address(dns_v4)
-        self.dns_v6 = ipaddress.IPv6Address(dns_v6)
+        self.dns_v4 = as_ipv4(dns_v4)
+        self.dns_v6 = as_ipv6(dns_v6)
 
         self.config: Optional[NetworkConfig] = None
         self.neighbors = ResolutionCache()
@@ -139,10 +140,15 @@ class Router(Node):
         self._next_nat_port = 20000
 
         self._ra_event = None
+        # The RA is a pure function of the active config, so both the
+        # structured frame and its wire bytes are built once per configure()
+        # and replayed every tick (emit-once: the frame cache is primed with
+        # the same object each time).
+        self._ra_wire: Optional[tuple] = None
         internet.attach_router(self)
 
-        self.nic.join_multicast(multicast_mac(ipaddress.IPv6Address("ff02::1:2")))
-        self.nic.join_multicast(multicast_mac(ipaddress.IPv6Address("ff02::2")))
+        self.nic.join_multicast(multicast_mac(as_ipv6("ff02::1:2")))
+        self.nic.join_multicast(multicast_mac(as_ipv6("ff02::2")))
         self.nic.join_multicast(multicast_mac(solicited_node_multicast(self.v6_lla)))
         self.nic.join_multicast(multicast_mac(solicited_node_multicast(self.v6_gua)))
 
@@ -160,6 +166,7 @@ class Router(Node):
         self._nat_out.clear()
         self._nat_in.clear()
         self._v6_leases.clear()
+        self._ra_wire = None
         if self._ra_event is not None:
             self._ra_event.cancel()
             self._ra_event = None
@@ -175,20 +182,24 @@ class Router(Node):
             return
         if self.faults is not None and self.faults.ra_suppressed(self.sim.now):
             return
-        options = [
-            SourceLinkLayerOption(self.mac),
-            MTUOption(1480),  # the IPv6-over-IPv4 tunnel MTU
-            PrefixInfoOption(self.lan_v6_prefix.network_address, 64),
-        ]
-        if self.config.slaac_rdnss:
-            options.append(RDNSSOption([self.dns_v6], lifetime=1200))
-        ra = ICMPv6.router_advert(
-            managed=self.config.stateful_dhcpv6,
-            other_config=self.config.stateless_dhcpv6 or self.config.stateful_dhcpv6,
-            options=options,
-        )
-        packet = IPv6(self.v6_lla, ALL_NODES, 58, ra, hop_limit=255)
-        self.nic.send(Ethernet(multicast_mac(ALL_NODES), self.mac, ETHERTYPE_IPV6, packet))
+        if self._ra_wire is None:
+            options = [
+                SourceLinkLayerOption(self.mac),
+                MTUOption(1480),  # the IPv6-over-IPv4 tunnel MTU
+                PrefixInfoOption(self.lan_v6_prefix.network_address, 64),
+            ]
+            if self.config.slaac_rdnss:
+                options.append(RDNSSOption([self.dns_v6], lifetime=1200))
+            ra = ICMPv6.router_advert(
+                managed=self.config.stateful_dhcpv6,
+                other_config=self.config.stateless_dhcpv6 or self.config.stateful_dhcpv6,
+                options=options,
+            )
+            packet = IPv6(self.v6_lla, ALL_NODES, 58, ra, hop_limit=255)
+            frame = Ethernet(multicast_mac(ALL_NODES), self.mac, ETHERTYPE_IPV6, packet)
+            self._ra_wire = (frame, frame.encode())
+        frame, wire = self._ra_wire
+        self.nic.send(frame, wire)
 
     # ------------------------------------------------------------- frame intake
 
@@ -235,7 +246,7 @@ class Router(Node):
     def _v4_lease_for(self, mac: MacAddress) -> ipaddress.IPv4Address:
         lease = self._v4_leases.get(mac)
         if lease is None:
-            lease = ipaddress.IPv4Address(int(self.lan_v4_network.network_address) + self._next_v4_host)
+            lease = as_ipv4(int(self.lan_v4_network.network_address) + self._next_v4_host)
             self._next_v4_host += 1
             self._v4_leases[mac] = lease
         return lease
@@ -333,12 +344,13 @@ class Router(Node):
             return
         if self._owns_v6(dst):
             return
-        if classify_address(dst) == AddressScope.MULTICAST:
+        dst_scope = classify_address(dst)
+        if dst_scope == AddressScope.MULTICAST:
             return
         # Forwarding decision
         if dst in self.lan_v6_prefix:
             self._deliver_lan_v6(packet)
-        elif classify_address(dst) == AddressScope.GUA:
+        elif dst_scope == AddressScope.GUA:
             if self.faults is not None:
                 dns = isinstance(payload, UDP) and payload.dport == 53
                 if self.faults.drops_wan(self.sim.now, family=6, dns=dns):
@@ -472,7 +484,7 @@ class Router(Node):
         key = duid or b""
         lease = self._v6_leases.get(key)
         if lease is None:
-            lease = ipaddress.IPv6Address(int(self.lan_v6_prefix.network_address) + self._next_v6_host)
+            lease = as_ipv6(int(self.lan_v6_prefix.network_address) + self._next_v6_host)
             self._next_v6_host += 1
             self._v6_leases[key] = lease
         return lease

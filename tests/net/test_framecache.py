@@ -81,9 +81,40 @@ class Sink(Node):
         self.received.append(frame)
 
 
+class TestPrime:
+    def test_prime_installs_the_senders_object(self):
+        cache = FrameCache()
+        frame = Ethernet(MAC_B, MAC_A, 0x1234, Raw(b"hello"))
+        data = frame.encode()
+        assert cache.prime(data, frame) is frame
+        assert cache.decode(data) is frame  # no parse: the primed object wins
+        assert (cache.primes, cache.misses, cache.hits) == (1, 0, 1)
+
+    def test_reprime_keeps_the_first_object(self):
+        """Byte-identical retransmits share one object, like decode does."""
+        cache = FrameCache()
+        first = Ethernet(MAC_B, MAC_A, 0x1234, Raw(b"ra"))
+        second = Ethernet(MAC_B, MAC_A, 0x1234, Raw(b"ra"))
+        data = first.encode()
+        assert cache.prime(data, first) is first
+        assert cache.prime(second.encode(), second) is first
+        assert (cache.primes, cache.prime_hits) == (1, 1)
+        assert cache.encode_count == 2
+        assert cache.prime_rate == pytest.approx(0.5)
+
+    def test_prime_respects_capacity(self):
+        cache = FrameCache(capacity=1)
+        one = Ethernet(MAC_B, MAC_A, 0x1234, Raw(b"one"))
+        two = Ethernet(MAC_B, MAC_A, 0x1234, Raw(b"two"))
+        cache.prime(one.encode(), one)
+        cache.prime(two.encode(), two)
+        assert len(cache) == 1
+
+
 class TestMulticastFlood:
-    def test_flood_costs_exactly_one_decode(self):
-        """A multicast frame delivered to N NICs plus the capture tap parses once."""
+    def test_flood_costs_zero_decodes(self):
+        """A sender-primed multicast frame reaches N NICs plus the capture
+        tap without a single ``Ethernet.decode``."""
         sim = Simulator()
         link = EthernetLink(sim)
         sinks = [Sink(sim, f"s{i}", f"02:00:00:00:01:{i:02x}", link) for i in range(10)]
@@ -96,10 +127,27 @@ class TestMulticastFlood:
         sim.run(1.0)
 
         assert all(len(s.received) == 1 for s in sinks[1:])
-        assert link.frames.misses == 1  # the tap's decode populates the cache
-        assert link.frames.hits == len(sinks) - 1  # every NIC delivery reuses it
-        # every consumer shares the single decoded object
+        assert link.frames.primes == 1  # the sender primed the cache
+        assert link.frames.decode_count == 0  # nobody parsed
+        # every consumer shares the sender's own object
         delivered = [s.received[0] for s in sinks[1:]] + tapped
+        assert all(f is flood for f in delivered)
+
+    def test_raw_transmit_still_decodes_once(self):
+        """``send_raw`` has no structured object; the flood falls back to
+        the decode-once cache (one miss) and the switch loop then hands the
+        same object to every later receiver without re-probing the cache."""
+        sim = Simulator()
+        link = EthernetLink(sim)
+        sinks = [Sink(sim, f"s{i}", f"02:00:00:00:01:{i:02x}", link) for i in range(5)]
+        data = Ethernet(multicast_mac("ff02::1"), sinks[0].nic.mac, 0x1234, Raw(b"ra")).encode()
+        sinks[0].nic.send_raw(data)
+        sim.run(1.0)
+
+        assert all(len(s.received) == 1 for s in sinks[1:])
+        assert link.frames.misses == 1
+        assert link.frames.hits == 0  # the delivery loop holds the object
+        delivered = [s.received[0] for s in sinks[1:]]
         assert all(f is delivered[0] for f in delivered)
 
     def test_filtered_frames_never_decode(self):
@@ -114,4 +162,5 @@ class TestMulticastFlood:
         sim.run(1.0)
 
         assert len(b.received) == 1
-        assert link.frames.misses + link.frames.hits == 1  # only b's accept decoded
+        assert link.frames.decode_count == 0  # primed; nobody had to parse
+        assert link.frames.encode_count == 1

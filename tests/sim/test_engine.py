@@ -102,6 +102,55 @@ class TestScheduling:
         sim.run_until(15.0)
         assert fired == ["x"]
 
+
+class TestHeapCompaction:
+    def test_queue_stays_bounded_under_schedule_cancel_churn(self):
+        """A retransmit-timer workload (schedule far out, cancel immediately)
+        must not grow the heap without bound: compaction drops dead tuples
+        once they outnumber live entries."""
+        sim = Simulator()
+        keepers = [sim.schedule(1e9, lambda: None) for _ in range(10)]
+        for _ in range(50_000):
+            sim.schedule(1e6, lambda: None).cancel()
+        assert sim.pending == len(keepers)
+        # Without compaction the heap would hold ~50k dead tuples; with it,
+        # the queue is bounded by live entries plus the trigger threshold.
+        assert len(sim._queue) <= 2 * (len(keepers) + 64)
+        assert sim.compactions > 0
+
+    def test_compaction_preserves_order_and_counters(self):
+        sim = Simulator()
+        fired = []
+        for i in range(200):
+            sim.schedule(float(200 - i), fired.append, 200 - i)
+        doomed = [sim.schedule(1e6, fired.append, "dead") for _ in range(500)]
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions > 0
+        assert sim._dead < 500  # the compaction removed the bulk of them
+        sim.run_until(300.0)
+        assert fired == sorted(fired)
+        assert len(fired) == 200
+        assert sim.pending == 0
+
+    def test_popping_cancelled_entries_keeps_dead_count_consistent(self):
+        """Dead tuples removed by the run loop (not compaction) must be
+        uncounted, or a later compaction trigger would misfire."""
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None).cancel()
+        assert sim._dead == 10
+        sim.run(2.0)  # pops the 10 dead tuples
+        assert sim._dead == 0
+        assert len(sim._queue) == 0
+
+    def test_cancel_after_fire_does_not_count_as_dead(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run(2.0)
+        event.cancel()
+        assert sim._dead == 0
+
     def test_run_all_drains_queue(self):
         sim = Simulator()
         fired = []
