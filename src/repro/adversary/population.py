@@ -1,0 +1,266 @@
+"""Population-scale adversary analytics: specs, fleet fan-out, aggregation.
+
+Two-phase architecture, chosen for the jobs-invariance contract:
+
+1. **Susceptibility phase (parallel).** Every (home, firewall) cell is an
+   :class:`AdversarySpec` — a picklable, seeded simulator input — and
+   :func:`run_adversary_fleet` fans the cells out over the standard fleet
+   runner. Each worker runs the full packet-level measurement (autoconfigure,
+   optional fault schedule, WAN probes through the firewall) and returns a
+   flat :class:`~repro.adversary.analysis.HomeSusceptibility`.
+2. **Epidemic phase (serial).** :func:`aggregate_adversary` re-sorts the
+   results (the runner already guarantees ``sort_key`` order), then runs the
+   deterministic campaign/worm loop per firewall column. Because the loop is
+   pure arithmetic over sorted summaries with its own seeded stream, the
+   rendered output is byte-identical whatever ``--jobs`` was.
+
+Homes are drawn through the fleet generator's scenario machinery, so the
+*fleet mix* axis (dual-stack vs IPv6-only vs stateful rollouts) composes
+with firewall mode and address-generation policy exactly like the paper's
+rollout sweeps — and the common-random-numbers property means every firewall
+column attacks the **same** home population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.adversary.analysis import HomeSusceptibility, run_home_susceptibility
+from repro.adversary.worm import InfectionTimeline, WormParams, run_worm
+from repro.faults.schedule import NO_FAULTS, get_fault
+from repro.fleet.runner import FleetResult, ProgressFn, run_fleet
+from repro.fleet.scenario import RolloutScenario, generate_fleet, get_scenario
+from repro.stack.firewall import FIREWALL_MODES
+
+DEFAULT_SETTLE = 150.0  # sim-seconds of autoconfiguration before the probes
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """One (home, firewall) susceptibility cell: seeded, picklable input."""
+
+    home_id: int
+    sim_seed: int
+    config_name: str
+    firewall: str
+    fault_name: str
+    device_names: tuple[str, ...]
+    settle: float = DEFAULT_SETTLE
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.home_id, self.firewall)
+
+    @property
+    def size(self) -> int:
+        return len(self.device_names)
+
+
+def generate_adversary_specs(
+    homes: int,
+    *,
+    seed: int,
+    scenario: RolloutScenario | str = "baseline",
+    firewalls: Sequence[str] = FIREWALL_MODES,
+    fault_name: str = NO_FAULTS.name,
+    settle: float = DEFAULT_SETTLE,
+) -> list[AdversarySpec]:
+    """Sample ``homes`` synthetic homes and cross them with firewall modes.
+
+    Unlike exposure, configs come from a rollout scenario's mix (the fleet
+    axis), and IPv4-only draws are kept: they are immune population members,
+    which the epidemic accounting must see. ``fault_name`` must resolve to a
+    preset schedule; it rides into every worker unchanged so faulted and
+    clean populations stay paired.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    for firewall in firewalls:
+        if firewall not in FIREWALL_MODES:
+            raise ValueError(f"unknown firewall mode {firewall!r} (known: {', '.join(FIREWALL_MODES)})")
+    if not firewalls:
+        raise ValueError("need at least one firewall mode")
+    get_fault(fault_name)   # fail fast on unknown presets, before any worker
+    return [
+        AdversarySpec(
+            home_id=home.home_id,
+            sim_seed=home.sim_seed,
+            config_name=home.config_name,
+            firewall=firewall,
+            fault_name=fault_name,
+            device_names=home.device_names,
+            settle=settle,
+        )
+        for home in generate_fleet(homes, seed=seed, scenario=scenario)
+        for firewall in firewalls
+    ]
+
+
+def run_adversary_fleet(
+    specs: Sequence[AdversarySpec],
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+) -> FleetResult:
+    """Measure every (home, firewall) cell; results ordered by ``sort_key``."""
+    return run_fleet(specs, jobs=jobs, timeout=timeout, progress=progress, worker=run_home_susceptibility)
+
+
+# ------------------------------------------------------------- aggregation
+
+
+@dataclass(frozen=True)
+class AddrKindAdversaryStats:
+    """Attack surface by headline address kind, one firewall mode."""
+
+    kind: str
+    devices: int
+    exploitable: int            # devices with a WAN-reachable open TCP port
+    entry_addresses: int        # strategy-visible addresses on those devices
+
+
+@dataclass(frozen=True)
+class ConfigOutcome:
+    """Epidemic outcome per network config (the fleet-mix axis)."""
+
+    config_name: str
+    homes: int
+    susceptible: int
+    compromised: int
+
+
+@dataclass(frozen=True)
+class FirewallOutcome:
+    """One firewall column: measured surface plus its worm timeline."""
+
+    firewall: str
+    homes: int
+    immune_homes: int
+    susceptible_homes: int
+    probes_sent: int
+    wan_dropped: int
+    fault_events: int
+    timeline: InfectionTimeline
+    by_addr_kind: tuple[AddrKindAdversaryStats, ...]
+    by_config: tuple[ConfigOutcome, ...]
+
+
+@dataclass(frozen=True)
+class AdversaryAggregate:
+    """The whole campaign: one worm outbreak per firewall mode."""
+
+    scenario_name: str
+    fault_name: str
+    params: WormParams
+    seed: int
+    total_runs: int
+    failed: tuple[tuple[int, str, str], ...]   # (home_id, firewall, error)
+    per_firewall: tuple[FirewallOutcome, ...]
+
+    @property
+    def completed(self) -> int:
+        return self.total_runs - len(self.failed)
+
+    def outcome_for(self, firewall: str) -> FirewallOutcome:
+        for outcome in self.per_firewall:
+            if outcome.firewall == firewall:
+                return outcome
+        raise KeyError(firewall)
+
+
+def _firewall_order(firewall: str) -> tuple:
+    try:
+        return (FIREWALL_MODES.index(firewall), firewall)
+    except ValueError:
+        return (len(FIREWALL_MODES), firewall)
+
+
+def _addr_kind_stats(population: list[HomeSusceptibility], strategy: str) -> tuple[AddrKindAdversaryStats, ...]:
+    devices = [device for home in population for device in home.devices]
+    kinds = sorted({device.addr_kind for device in devices})
+    return tuple(
+        AddrKindAdversaryStats(
+            kind=kind,
+            devices=sum(1 for d in devices if d.addr_kind == kind),
+            exploitable=sum(1 for d in devices if d.addr_kind == kind and d.exploitable),
+            entry_addresses=sum(d.entries(strategy) for d in devices if d.addr_kind == kind and d.exploitable),
+        )
+        for kind in kinds
+    )
+
+
+def _config_outcomes(
+    population: list[HomeSusceptibility], strategy: str, timeline: InfectionTimeline
+) -> tuple[ConfigOutcome, ...]:
+    compromised_ids = {event.home_id for event in timeline.events}
+    configs = sorted({home.config_name for home in population})
+    return tuple(
+        ConfigOutcome(
+            config_name=config,
+            homes=sum(1 for h in population if h.config_name == config),
+            susceptible=sum(1 for h in population if h.config_name == config and h.susceptible(strategy)),
+            compromised=sum(
+                1 for h in population if h.config_name == config and h.home_id in compromised_ids
+            ),
+        )
+        for config in configs
+    )
+
+
+def _outcome_for(firewall: str, population: list[HomeSusceptibility], params: WormParams, seed: int) -> FirewallOutcome:
+    population = sorted(population, key=lambda home: home.home_id)
+    timeline = run_worm(population, params, seed=seed, label=firewall)
+    return FirewallOutcome(
+        firewall=firewall,
+        homes=len(population),
+        immune_homes=sum(1 for home in population if home.immune),
+        susceptible_homes=sum(1 for home in population if home.susceptible(params.strategy)),
+        probes_sent=sum(home.probes_sent for home in population),
+        wan_dropped=sum(home.wan_dropped for home in population),
+        fault_events=sum(home.fault_events for home in population),
+        timeline=timeline,
+        by_addr_kind=_addr_kind_stats(population, params.strategy),
+        by_config=_config_outcomes(population, params.strategy, timeline),
+    )
+
+
+def aggregate_adversary(
+    fleet: FleetResult,
+    params: WormParams,
+    *,
+    seed: int,
+    scenario_name: str = "",
+) -> AdversaryAggregate:
+    """Phase 2: run one deterministic outbreak per firewall column.
+
+    ``seed`` drives the epidemic draws only (the susceptibility phase burned
+    its own per-home simulator seeds); the same (fleet, params, seed) triple
+    always yields the same timelines regardless of how the fleet was run.
+    """
+    by_firewall: dict[str, list[HomeSusceptibility]] = {}
+    failed: list[tuple[int, str, str]] = []
+    fault_name = NO_FAULTS.name
+    for result in fleet.results:
+        spec = result.spec
+        if not result.ok:
+            first_line = (result.error or "").strip().splitlines()[-1] if result.error else "unknown error"
+            failed.append((spec.home_id, spec.firewall, first_line))
+            continue
+        fault_name = result.summary.fault
+        by_firewall.setdefault(spec.firewall, []).append(result.summary)
+
+    per_firewall = tuple(
+        _outcome_for(firewall, population, params, seed)
+        for firewall, population in sorted(by_firewall.items(), key=lambda item: _firewall_order(item[0]))
+    )
+    return AdversaryAggregate(
+        scenario_name=scenario_name,
+        fault_name=fault_name,
+        params=params,
+        seed=seed,
+        total_runs=len(fleet.results),
+        failed=tuple(failed),
+        per_firewall=per_firewall,
+    )

@@ -1,0 +1,131 @@
+"""Epidemic bookkeeping: per-home compartment state and the SIR timeline.
+
+Pure data, no probing and no randomness. :mod:`repro.adversary.worm` drives
+the transitions; :mod:`repro.adversary.population` and the reports read the
+resulting timeline. Four compartments:
+
+- ``immune``      — the home cannot be compromised by the active strategy at
+  all: no routed IPv6, or no device with both a strategy-visible address and
+  a WAN-reachable open TCP service (the firewall/address-policy gate);
+- ``susceptible`` — at least one exploitable entry point exists;
+- ``infected``    — compromised and actively scanning the population;
+- ``removed``     — compromised, then patched/rebooted off the botnet (SIR
+  recovery); it stops scanning but stays counted as compromised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+SUSCEPTIBLE = "susceptible"
+INFECTED = "infected"
+REMOVED = "removed"
+IMMUNE = "immune"
+STATES = (SUSCEPTIBLE, INFECTED, REMOVED, IMMUNE)
+
+# ``source`` of an infection seeded from outside the population (the initial
+# campaign vantage), as opposed to a peer home's id.
+EXTERNAL_SOURCE = -1
+
+
+@dataclass
+class HomeState:
+    """One home's compartment and transition times."""
+
+    home_id: int
+    status: str
+    infected_at: Optional[float] = None
+    removed_at: Optional[float] = None
+    source: Optional[int] = None    # infecting home id, or EXTERNAL_SOURCE
+
+    @property
+    def compromised(self) -> bool:
+        """Ever infected (removal does not un-compromise a home)."""
+        return self.infected_at is not None
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """Compartment counts at one instant of the epidemic clock."""
+
+    time: float
+    susceptible: int
+    infected: int
+    removed: int
+    immune: int
+
+    @property
+    def compromised(self) -> int:
+        return self.infected + self.removed
+
+
+class EpidemicState:
+    """The whole population's compartments, with deterministic iteration.
+
+    Homes are keyed by id; every accessor returns ids in sorted order so the
+    worm's seeded draws consume randomness in a schedule that depends only
+    on (population, seed) — never on dict insertion order.
+    """
+
+    def __init__(self, homes: Iterable[tuple[int, bool]]):
+        self._homes: dict[int, HomeState] = {}
+        for home_id, susceptible in sorted(homes):
+            status = SUSCEPTIBLE if susceptible else IMMUNE
+            self._homes[home_id] = HomeState(home_id=home_id, status=status)
+
+    def __len__(self) -> int:
+        return len(self._homes)
+
+    def state(self, home_id: int) -> HomeState:
+        return self._homes[home_id]
+
+    def ids_in(self, status: str) -> list[int]:
+        if status not in STATES:
+            raise ValueError(f"unknown state {status!r} (known: {', '.join(STATES)})")
+        return [h.home_id for h in self._homes.values() if h.status == status]
+
+    @property
+    def susceptible_ids(self) -> list[int]:
+        return self.ids_in(SUSCEPTIBLE)
+
+    @property
+    def infected_ids(self) -> list[int]:
+        return self.ids_in(INFECTED)
+
+    @property
+    def compromised_ids(self) -> list[int]:
+        return [h.home_id for h in self._homes.values() if h.compromised]
+
+    # ------------------------------------------------------------ transitions
+
+    def infect(self, home_id: int, at: float, source: int) -> HomeState:
+        home = self._homes[home_id]
+        if home.status != SUSCEPTIBLE:
+            raise ValueError(f"home {home_id} is {home.status}, not susceptible")
+        home.status = INFECTED
+        home.infected_at = at
+        home.source = source
+        return home
+
+    def remove(self, home_id: int, at: float) -> HomeState:
+        home = self._homes[home_id]
+        if home.status != INFECTED:
+            raise ValueError(f"home {home_id} is {home.status}, not infected")
+        home.status = REMOVED
+        home.removed_at = at
+        return home
+
+    # -------------------------------------------------------------- snapshots
+
+    def snapshot(self, at: float) -> TimelinePoint:
+        counts = {status: 0 for status in STATES}
+        for home in self._homes.values():
+            counts[home.status] += 1
+        return TimelinePoint(
+            time=at,
+            susceptible=counts[SUSCEPTIBLE],
+            infected=counts[INFECTED],
+            removed=counts[REMOVED],
+            immune=counts[IMMUNE],
+        )

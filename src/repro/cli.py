@@ -16,9 +16,14 @@ Commands:
   (DNS outages, uplink flaps, RA suppression, ...) paired against clean runs
   and print the degradation grid (unaffected / recovered / degraded /
   bricked, with time-to-recover distributions)
+- ``adversary`` run a scanning campaign (EUI-64 sweep, low-IID sweep, or
+  hitlist replay) and worm outbreak against a fleet and print deterministic
+  time-to-compromise curves by firewall mode, address kind and fleet mix
 
 Fleet-style commands exit 2 when no work was generated (e.g. ``--homes 0``)
-and 1 when any home worker failed, after printing whatever completed.
+or the arguments are invalid (negative seed, duplicate spec names, unknown
+scenario/preset), and 1 when any home worker failed, after printing
+whatever completed.
 """
 
 from __future__ import annotations
@@ -50,6 +55,30 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _duplicates(values) -> list[str]:
+    """The values that appear more than once, in first-appearance order."""
+    seen: set = set()
+    dups: list[str] = []
+    for value in values:
+        if value in seen and value not in dups:
+            dups.append(value)
+        seen.add(value)
+    return dups
+
+
+def _reject_duplicates(what: str, values) -> int | None:
+    """Exit code 2 when a name list repeats itself (None = fine).
+
+    Repeated scenario/spec names silently double-count cells in every
+    aggregate, so they are an input error, not a request.
+    """
+    dups = _duplicates(values)
+    if not dups:
+        return None
+    print(f"error: duplicate {what}: {', '.join(str(d) for d in dups)}", file=sys.stderr)
+    return 2
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -70,7 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     fleet = sub.add_parser("fleet", help="simulate a fleet of homes, print population analytics")
     fleet.add_argument("--homes", type=_non_negative_int, default=20, help="number of synthetic homes")
-    fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument("--seed", type=_non_negative_int, default=42)
     fleet.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
     fleet.add_argument(
         "--scenario",
@@ -81,7 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     exposure = sub.add_parser("exposure", help="WAN-scan a fleet of homes, print the population attack surface")
     exposure.add_argument("--homes", type=_non_negative_int, default=8, help="number of synthetic homes")
-    exposure.add_argument("--seed", type=int, default=42)
+    exposure.add_argument("--seed", type=_non_negative_int, default=42)
     exposure.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
     exposure.add_argument(
         "--config",
@@ -100,7 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     faults = sub.add_parser("faults", help="inject network impairments into a fleet, print the degradation grid")
     faults.add_argument("--homes", type=_non_negative_int, default=4, help="number of synthetic homes")
-    faults.add_argument("--seed", type=int, default=42)
+    faults.add_argument("--seed", type=_non_negative_int, default=42)
     faults.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
     faults.add_argument(
         "--configs",
@@ -124,6 +153,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault preset(s) to inject (e.g. dns-blackout, uplink-flap, v6-brownout, flaky-lan)",
     )
     faults.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
+
+    adversary = sub.add_parser(
+        "adversary", help="run a scanning campaign + worm outbreak against a fleet, print time-to-compromise"
+    )
+    adversary.add_argument("--homes", type=_non_negative_int, default=6, help="number of synthetic homes")
+    adversary.add_argument("--seed", type=_non_negative_int, default=42)
+    adversary.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
+    adversary.add_argument(
+        "--scenario",
+        default="baseline",
+        help="rollout scenario the fleet mix is drawn from (e.g. baseline, flip50, stateful-rollout)",
+    )
+    adversary.add_argument(
+        "--firewall",
+        nargs="+",
+        default=["open", "stateful", "pinhole"],
+        choices=["open", "stateful", "pinhole"],
+        help="router firewall mode(s) to run the outbreak under",
+    )
+    adversary.add_argument(
+        "--strategy",
+        default="eui64-sweep",
+        choices=["eui64-sweep", "low-iid", "hitlist"],
+        help="how the attacker (and the worm) targets addresses",
+    )
+    adversary.add_argument(
+        "--fault",
+        default="none",
+        metavar="PRESET",
+        help="fault schedule injected into every home (e.g. ra-settle-outage, dhcpv6-outage)",
+    )
+    adversary.add_argument("--scan-rate", type=float, default=2000.0, help="probes/sec per scanning vantage")
+    adversary.add_argument("--dt", type=float, default=30.0, help="epidemic clock tick in seconds")
+    adversary.add_argument("--horizon", type=float, default=3600.0, help="outbreak duration in seconds")
+    adversary.add_argument(
+        "--seeds", type=_positive_int, default=1, help="homes the bootstrap campaign compromises before it stops"
+    )
+    adversary.add_argument(
+        "--recover", type=float, default=None, help="mean seconds before an infected home is patched (SIR removal)"
+    )
+    adversary.add_argument(
+        "--hitlist-background",
+        type=_non_negative_int,
+        default=200_000,
+        help="leaked addresses on the replay list beyond this population (hitlist strategy only)",
+    )
+    adversary.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
     return parser
 
 
@@ -241,6 +317,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.exposure import aggregate_exposure, generate_exposure_specs, run_exposure_fleet
         from repro.reports import render_exposure
 
+        code = _reject_duplicates("firewall mode(s)", args.firewall)
+        if code is not None:
+            return code
         specs = generate_exposure_specs(
             args.homes, seed=args.seed, config_name=args.config, firewalls=tuple(args.firewall)
         )
@@ -269,6 +348,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faults import aggregate_faults, generate_fault_specs, run_fault_fleet
         from repro.reports import render_faults
 
+        for what, values in (("config(s)", args.configs), ("fault preset(s)", args.faults)):
+            code = _reject_duplicates(what, values)
+            if code is not None:
+                return code
         try:
             specs = generate_fault_specs(
                 args.homes,
@@ -298,6 +381,62 @@ def main(argv: list[str] | None = None) -> int:
         fleet = run_fault_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=fault_progress)
         print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
         print(render_faults(aggregate_faults(fleet)))
+        return _fleet_exit(fleet)
+
+    if args.command == "adversary":
+        from repro.adversary import (
+            WormParams,
+            aggregate_adversary,
+            generate_adversary_specs,
+            run_adversary_fleet,
+        )
+        from repro.fleet import get_scenario
+        from repro.reports import render_adversary
+
+        code = _reject_duplicates("firewall mode(s)", args.firewall)
+        if code is not None:
+            return code
+        try:
+            scenario = get_scenario(args.scenario)
+            params = WormParams(
+                strategy=args.strategy,
+                scan_rate=args.scan_rate,
+                dt=args.dt,
+                horizon=args.horizon,
+                seeds=args.seeds,
+                recovery=args.recover,
+                hitlist_background=args.hitlist_background,
+            )
+            specs = generate_adversary_specs(
+                args.homes,
+                seed=args.seed,
+                scenario=scenario,
+                firewalls=tuple(args.firewall),
+                fault_name=args.fault,
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if not specs:
+            return _no_work("--homes 0 generates an empty target population")
+        print(
+            f"attacking {args.homes} homes x {len(args.firewall)} firewall mode(s) "
+            f"(strategy={args.strategy}, scenario={scenario.name}, fault={args.fault}, "
+            f"seed={args.seed}, jobs={args.jobs}) ...",
+            file=sys.stderr,
+        )
+
+        def adversary_progress(done, total, result):
+            status = "ok" if result.ok else "FAILED"
+            print(
+                f"  home {result.spec.home_id:4d} [{result.spec.firewall}] [{done}/{total}] {status}",
+                file=sys.stderr,
+            )
+
+        start = time.time()
+        fleet = run_adversary_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=adversary_progress)
+        print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+        print(render_adversary(aggregate_adversary(fleet, params, seed=args.seed, scenario_name=scenario.name)))
         return _fleet_exit(fleet)
 
     if args.command == "pcap":

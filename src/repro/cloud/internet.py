@@ -137,6 +137,16 @@ class Internet:
             address = ipaddress.ip_address(address)
         self._endpoints[address] = endpoint
 
+    def detach_endpoint(self, address) -> None:
+        """Remove a caller-attached endpoint (scanner vantage teardown).
+
+        After detaching, packets routed to ``address`` count as ``dropped``
+        again — an adversary vantage that has moved on hears nothing.
+        """
+        if isinstance(address, str):
+            address = ipaddress.ip_address(address)
+        self._endpoints.pop(address, None)
+
     def materialize_registry(self) -> None:
         """Create an endpoint for every address in the DNS registry."""
         for record in self.registry.domains():

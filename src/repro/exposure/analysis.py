@@ -52,11 +52,18 @@ def effective_pinholes(profile: DeviceProfile) -> tuple[tuple[int, int], ...]:
     return ()
 
 
-def _headline_kind(addr_kinds: tuple[str, ...]) -> str:
+def headline_addr_kind(addr_kinds: tuple[str, ...]) -> str:
+    """Collapse a device's GUA kind mix to its headline kind (see above).
+
+    Shared with :mod:`repro.adversary.analysis`, which stratifies compromise
+    outcomes on the same labels exposure uses for discovery."""
     for kind in _KIND_PRIORITY:
         if kind in addr_kinds:
             return _KIND_LABELS.get(kind, kind)
     return "none"
+
+
+_headline_kind = headline_addr_kind
 
 
 @dataclass(frozen=True)

@@ -25,9 +25,10 @@ real packets. DESIGN.md §exposure documents the substitution.
 
 from __future__ import annotations
 
+import functools
 import ipaddress
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional, Sequence
 
 from repro.net.icmpv6 import (
     ICMPv6,
@@ -67,7 +68,35 @@ class AttackerKnowledge:
     @property
     def candidate_count(self) -> int:
         """Size of the enumerable address space (per target /64)."""
-        return len(self.ouis) * self.suffix_budget + self.low_iid_budget
+        return self.eui64_space + self.low_iid_space
+
+    @property
+    def eui64_space(self) -> int:
+        """Candidates per /64 in the OUI x NIC-suffix sweep."""
+        return len(self.ouis) * self.suffix_budget
+
+    @property
+    def low_iid_space(self) -> int:
+        """Candidates per /64 in the low-IID hitlist sweep."""
+        return self.low_iid_budget
+
+    @functools.cached_property
+    def _oui_set(self) -> frozenset:
+        # cached_property writes the instance __dict__ directly, which a
+        # frozen dataclass permits; membership tests run per candidate.
+        return frozenset(self.ouis)
+
+    def synthesizes_low_iid(self, address) -> bool:
+        """Is the interface identifier inside the ``::1..`` hitlist sweep?"""
+        iid = int(as_ipv6(address)) & 0xFFFFFFFFFFFFFFFF
+        return iid < self.low_iid_budget
+
+    def synthesizes_eui64(self, address) -> bool:
+        """Does the IID embed a known OUI with an in-budget NIC suffix?"""
+        mac = mac_from_eui64(as_ipv6(address))
+        if mac is None:
+            return False
+        return mac.packed[:3] in self._oui_set and int.from_bytes(mac.packed[3:6], "big") < self.suffix_budget
 
     def synthesizes(self, prefix, address) -> bool:
         """Would the candidate sweep of ``prefix`` include ``address``?
@@ -75,19 +104,15 @@ class AttackerKnowledge:
         True exactly when the address falls in the low-IID hitlist or embeds
         an EUI-64 IID whose OUI is known and whose NIC suffix is within the
         sweep budget. Temporary/stable IIDs draw from 2^64 values and are
-        (with overwhelming probability) never synthesized.
+        (with overwhelming probability) never synthesized. The per-strategy
+        predicates are split out so :mod:`repro.adversary.campaign` can
+        attribute each discovered address to the strategy that finds it.
         """
         network = prefix if isinstance(prefix, ipaddress.IPv6Network) else ipaddress.IPv6Network(prefix)
         addr = as_ipv6(address)
         if addr not in network:
             return False
-        iid = int(addr) & 0xFFFFFFFFFFFFFFFF
-        if iid < self.low_iid_budget:
-            return True
-        mac = mac_from_eui64(addr)
-        if mac is None:
-            return False
-        return mac.packed[:3] in set(self.ouis) and int.from_bytes(mac.packed[3:6], "big") < self.suffix_budget
+        return self.synthesizes_low_iid(addr) or self.synthesizes_eui64(addr)
 
 
 def inventory_oui_knowledge(
@@ -142,6 +167,8 @@ class WanScanResult:
     decoys: tuple[ipaddress.IPv6Address, ...] = ()
     decoy_hits: int = 0                 # decoy responses — must stay 0
     wan_dropped: int = 0                # inbound probes the firewall dropped
+    extra_probed: int = 0               # hitlist-replay targets probed on top
+                                        # of the synthesized candidate set
 
     @property
     def discoverable_devices(self) -> list[str]:
@@ -170,6 +197,13 @@ class WanScanner:
     they traverse the router's v6 firewall exactly like real inbound
     traffic; replies flow device -> router -> Internet back to the vantage
     endpoint.
+
+    ``extra_targets`` maps device names to additional concrete addresses to
+    probe beyond the synthesized candidate set — the hitlist-replay case
+    (Rye et al.): addresses that leaked to servers are probed directly even
+    when no sweep could synthesize them (e.g. RFC 8981 temporary GUAs).
+    They never enter ``discovered`` — analytic candidate-set membership
+    stays a pure function of the attacker's sweep knowledge.
     """
 
     def __init__(
@@ -179,12 +213,14 @@ class WanScanner:
         *,
         address=WAN_SCANNER_V6,
         decoys: int = 3,
+        extra_targets: Optional[Mapping[str, Sequence[ipaddress.IPv6Address]]] = None,
     ):
         self.testbed = testbed
         self.sim = testbed.sim
         self.knowledge = knowledge if knowledge is not None else inventory_oui_knowledge()
         self.address = as_ipv6(address)
         self.decoy_budget = decoys
+        self.extra_targets = dict(extra_targets or {})
         self.rng = testbed.sim.rng_for("wanscan")
         testbed.internet.attach_endpoint(self.address, _Vantage(self))
 
@@ -320,7 +356,12 @@ class WanScanner:
         probes: list[tuple] = []
         for device in self.testbed.devices:
             report = self.result.devices[device.name]
-            for address in report.discovered:
+            targets = list(report.discovered)
+            for address in self.extra_targets.get(device.name, ()):
+                if address not in targets:
+                    targets.append(address)
+                    self.result.extra_probed += 1
+            for address in targets:
                 probes.append(("echo", device.name, address, 0))
                 probes.extend(("tcp", device.name, address, port) for port in self._tcp_candidates(device.profile))
                 probes.extend(("udp", device.name, address, port) for port in self._udp_candidates(device.profile))

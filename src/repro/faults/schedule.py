@@ -75,7 +75,12 @@ class FaultSchedule:
 
     def __post_init__(self):
         # Normalize: deterministic window order whatever order callers used.
-        ordered = tuple(sorted(self.windows, key=lambda w: (w.start, w.end, w.kind)))
+        # The key is total (every field participates) so schedules that tie
+        # on interval and kind still order canonically — `a.combine(b)` and
+        # `b.combine(a)` hold identical window tuples.
+        ordered = tuple(
+            sorted(self.windows, key=lambda w: (w.start, w.end, w.kind, w.severity, w.jitter))
+        )
         object.__setattr__(self, "windows", ordered)
 
     @staticmethod
@@ -154,6 +159,11 @@ FAULT_PRESETS: dict[str, FaultSchedule] = {
         # The RA daemon never speaks: SLAAC-dependent devices cannot
         # configure (missing-RA misconfiguration, full run).
         FaultSchedule.of("ra-blackout", [FaultWindow("ra-suppress", 0.0, 1400.0)]),
+        # RA outage confined to the boot/settle phase (the adversary
+        # subsystem's composition case): SLAAC addresses never form before
+        # the scan, so EUI-64 sweeps find less even though the network
+        # later recovers.
+        FaultSchedule.of("ra-settle-outage", [FaultWindow("ra-suppress", 0.0, 150.0)]),
         # The DHCPv6 server is down for the whole run (stateful configs lose
         # leases and stateless configs lose their resolver).
         FaultSchedule.of("dhcpv6-outage", [FaultWindow("dhcpv6-outage", 0.0, 1400.0)]),

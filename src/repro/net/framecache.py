@@ -51,10 +51,16 @@ class FrameCache:
     def __len__(self) -> int:
         return len(self._frames)
 
+    @staticmethod
+    def _ratio(part: int, total: int) -> float:
+        """Zero-safe ratio: a cache that has observed nothing has rate 0.0,
+        never a ZeroDivisionError (rates are read unconditionally by the
+        benchmark harness and reports, including on idle links)."""
+        return part / total if total else 0.0
+
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self._ratio(self.hits, self.hits + self.misses)
 
     @property
     def encode_count(self) -> int:
@@ -71,8 +77,7 @@ class FrameCache:
     def prime_rate(self) -> float:
         """Fraction of transmitted frames whose structured object was newly
         installed by the sender (the rest were byte-identical repeats)."""
-        total = self.primes + self.prime_hits
-        return self.primes / total if total else 0.0
+        return self._ratio(self.primes, self.primes + self.prime_hits)
 
     def prime(self, data: bytes, frame: Ethernet) -> Ethernet:
         """Install the sender's structured ``frame`` for ``data`` before any

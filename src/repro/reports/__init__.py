@@ -17,6 +17,7 @@ from repro.reports.tables import (
     render_table12,
     render_table13,
 )
+from repro.reports.adversary import render_adversary
 from repro.reports.exposure import render_exposure
 from repro.reports.faults import render_faults
 from repro.reports.fleet import render_fleet_summary
@@ -51,6 +52,7 @@ __all__ = [
     "render_figure3",
     "render_figure4",
     "render_figure5",
+    "render_adversary",
     "render_exposure",
     "render_faults",
     "render_fleet_summary",

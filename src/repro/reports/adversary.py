@@ -1,0 +1,118 @@
+"""Adversary report: time-to-compromise per firewall mode, kind and mix."""
+
+from __future__ import annotations
+
+from repro.adversary.population import AdversaryAggregate, FirewallOutcome
+from repro.adversary.worm import InfectionTimeline
+from repro.reports.render import format_table
+
+# How many timeline checkpoints the curve table shows per firewall mode.
+CURVE_POINTS = 6
+
+
+def _seconds(value) -> str:
+    return "-" if value is None else f"{value:.0f}s"
+
+
+def _curve_rows(outcome: FirewallOutcome) -> list[list]:
+    timeline: InfectionTimeline = outcome.timeline
+    curve = timeline.curve
+    if len(curve) <= 1:
+        return []
+    step = max(1, (len(curve) - 1) // CURVE_POINTS)
+    picked = list(curve[::step])
+    if picked[-1] is not curve[-1]:
+        picked.append(curve[-1])
+    return [
+        [
+            outcome.firewall,
+            f"{point.time:.0f}s",
+            point.susceptible,
+            point.infected,
+            point.removed,
+            point.compromised,
+        ]
+        for point in picked
+    ]
+
+
+def render_adversary(aggregate: AdversaryAggregate) -> str:
+    """Outbreak summary, address-kind surface, fleet-mix outcomes, curves."""
+    params = aggregate.params
+    rows = []
+    for outcome in aggregate.per_firewall:
+        timeline = outcome.timeline
+        rows.append(
+            [
+                outcome.firewall,
+                outcome.homes,
+                outcome.immune_homes,
+                outcome.susceptible_homes,
+                _seconds(timeline.first_compromise),
+                _seconds(timeline.time_to_fraction(0.5)),
+                _seconds(timeline.time_to_fraction(0.9)),
+                timeline.compromised,
+                f"{100.0 * timeline.compromised_fraction:.0f}%",
+                timeline.peer_spread,
+                outcome.wan_dropped,
+            ]
+        )
+    fault = f", fault={aggregate.fault_name}" if aggregate.fault_name != "none" else ""
+    title = (
+        f"Worm outbreak ({params.strategy}, scan_rate={params.scan_rate:g}/s, "
+        f"horizon={params.horizon:g}s, scenario={aggregate.scenario_name or '?'}{fault}): "
+        f"{aggregate.completed}/{aggregate.total_runs} cells"
+    )
+    lines = [
+        format_table(
+            title,
+            ["Firewall", "Homes", "Immune", "Susc.", "t_first", "t50", "t90", "Compr.", "Compr. %", "Peer", "Dropped"],
+            rows,
+        )
+    ]
+
+    kind_rows = [
+        [f"{outcome.firewall}/{stats.kind}", stats.devices, stats.exploitable, stats.entry_addresses]
+        for outcome in aggregate.per_firewall
+        for stats in outcome.by_addr_kind
+    ]
+    if kind_rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                f"Entry surface by address kind ({params.strategy})",
+                ["Firewall/kind", "Devices", "Exploitable", "Entry addrs"],
+                kind_rows,
+            )
+        )
+
+    config_rows = [
+        [f"{outcome.firewall}/{cell.config_name}", cell.homes, cell.susceptible, cell.compromised]
+        for outcome in aggregate.per_firewall
+        for cell in outcome.by_config
+        if len(outcome.by_config) > 1
+    ]
+    if config_rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                "Outcome by network config (fleet mix)",
+                ["Firewall/config", "Homes", "Susc.", "Compr."],
+                config_rows,
+            )
+        )
+
+    curve_rows = [row for outcome in aggregate.per_firewall for row in _curve_rows(outcome)]
+    if curve_rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                "Infection timeline checkpoints",
+                ["Firewall", "Time", "S", "I", "R", "Compromised"],
+                curve_rows,
+            )
+        )
+
+    for home_id, firewall, error in aggregate.failed:
+        lines.append(f"FAILED home {home_id} [{firewall}]: {error}")
+    return "\n".join(lines)

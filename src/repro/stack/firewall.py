@@ -72,6 +72,12 @@ class FirewallV6:
         self._pinholes: set[tuple[MacAddress, int, int]] = set()
         self.passed = 0
         self.dropped = 0
+        # Verdict attribution: why inbound packets passed. The adversary
+        # subsystem reads these to report which door each compromise used
+        # (wide-open forwarding, an established flow, or a punched pinhole).
+        self.passed_open = 0
+        self.passed_flow = 0
+        self.passed_pinhole = 0
 
     # ------------------------------------------------------------------ state
 
@@ -147,14 +153,17 @@ class FirewallV6:
         """Decide one unsolicited-or-not WAN->LAN packet; counts the verdict."""
         if not self.stateful:
             self.passed += 1
+            self.passed_open += 1
             return True
         key = self._inbound_key(packet)
         if key is not None and self._alive(key):
             self._flows[key] = self._clock()  # refresh on inbound activity
             self.passed += 1
+            self.passed_flow += 1
             return True
         if self.mode == "pinhole" and self._permitted_pinhole(packet):
             self.passed += 1
+            self.passed_pinhole += 1
             return True
         self.dropped += 1
         return False

@@ -1,0 +1,62 @@
+"""Epidemic state machine: compartments, transitions, snapshots."""
+
+import pytest
+
+from repro.adversary.state import (
+    EXTERNAL_SOURCE,
+    IMMUNE,
+    INFECTED,
+    REMOVED,
+    SUSCEPTIBLE,
+    EpidemicState,
+)
+
+
+def make_state():
+    return EpidemicState([(2, True), (0, True), (1, False)])
+
+
+def test_initial_compartments_and_sorted_iteration():
+    state = make_state()
+    assert len(state) == 3
+    assert state.susceptible_ids == [0, 2]       # sorted, immune excluded
+    assert state.ids_in(IMMUNE) == [1]
+    assert state.infected_ids == []
+    point = state.snapshot(0.0)
+    assert (point.susceptible, point.infected, point.removed, point.immune) == (2, 0, 0, 1)
+    assert point.compromised == 0
+
+
+def test_infect_and_remove_transitions():
+    state = make_state()
+    home = state.infect(2, 30.0, EXTERNAL_SOURCE)
+    assert home.status == INFECTED and home.infected_at == 30.0
+    assert home.source == EXTERNAL_SOURCE
+    assert state.infected_ids == [2]
+    assert state.compromised_ids == [2]
+
+    state.infect(0, 60.0, 2)
+    assert state.state(0).source == 2
+
+    removed = state.remove(2, 90.0)
+    assert removed.status == REMOVED and removed.removed_at == 90.0
+    # removal does not un-compromise
+    assert removed.compromised
+    assert state.compromised_ids == [0, 2]
+    point = state.snapshot(90.0)
+    assert (point.susceptible, point.infected, point.removed) == (0, 1, 1)
+    assert point.compromised == 2
+
+
+def test_invalid_transitions_raise():
+    state = make_state()
+    with pytest.raises(ValueError):
+        state.infect(1, 10.0, EXTERNAL_SOURCE)      # immune
+    state.infect(0, 10.0, EXTERNAL_SOURCE)
+    with pytest.raises(ValueError):
+        state.infect(0, 20.0, EXTERNAL_SOURCE)      # already infected
+    with pytest.raises(ValueError):
+        state.remove(2, 20.0)                       # still susceptible
+    with pytest.raises(ValueError):
+        state.ids_in("zombie")
+    assert state.ids_in(SUSCEPTIBLE) == [2]

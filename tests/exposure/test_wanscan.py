@@ -138,3 +138,78 @@ def test_ipv4_only_config_rejected():
     spec = ExposureSpec(0, 7, "ipv4-only", "open", ("Google TV",))
     with pytest.raises(ValueError):
         run_home_exposure(spec)
+
+
+# ------------------------------------------------------- decoy accounting
+
+
+def settled_testbed(firewall: str, devices=("Google TV", "SmartThings Hub")):
+    from repro.stack.config import with_firewall
+    from repro.testbed.lab import Testbed
+    from repro.testbed.study import profiles_by_name, resolve_config
+
+    config = with_firewall(resolve_config("dual-stack"), firewall)
+    testbed = Testbed(seed=7, profiles=profiles_by_name(devices), include_controls=False)
+    testbed.router.configure(config)
+    for device in testbed.devices:
+        device.prepare(config)
+    testbed.sim.run(150.0)
+    return testbed
+
+
+@pytest.mark.parametrize("firewall", ["open", "stateful", "pinhole"])
+def test_decoys_never_discovered_and_never_respond(firewall):
+    """Decoys are synthesized misses: they must be probed, never answered,
+    and must never leak into any device's discovered hit list."""
+    from repro.exposure.wanscan import WanScanner
+
+    testbed = settled_testbed(firewall)
+    scanner = WanScanner(testbed)
+    result = scanner.run()
+
+    assert len(result.decoys) == scanner.decoy_budget > 0
+    discovered = {a for report in result.devices.values() for a in report.discovered}
+    assert not discovered & set(result.decoys)
+    assert result.decoy_hits == 0
+    # each decoy is a genuine candidate of the sweep (the miss is real)
+    for decoy in result.decoys:
+        assert scanner.knowledge.synthesizes(testbed.router.lan_v6_prefix, decoy)
+
+
+def test_analytic_membership_agrees_with_probe_outcomes():
+    """Candidate-set membership is analytic, so it must be identical across
+    firewall modes; only the probe outcomes may differ."""
+    from repro.exposure.wanscan import WanScanner
+
+    results = {fw: WanScanner(settled_testbed(fw)).run() for fw in ("open", "stateful")}
+    for name in results["open"].devices:
+        open_report = results["open"].devices[name]
+        stateful_report = results["stateful"].devices[name]
+        assert open_report.discovered == stateful_report.discovered
+        # a probed member responds iff the firewall lets the probe through
+        if open_report.discovered:
+            assert open_report.responsive
+            assert not stateful_report.responsive
+    assert results["stateful"].wan_dropped > 0
+    assert results["open"].wan_dropped == 0
+
+
+def test_extra_targets_probed_but_never_discovered():
+    """Hitlist-replay targets ride the probe path without polluting the
+    analytic candidate set."""
+    from repro.exposure.wanscan import WanScanner
+    from repro.net.ip6 import AddressScope
+
+    testbed = settled_testbed("open", devices=("Samsung TV",))
+    device = testbed.devices[0]
+    leaked = device.stack.addrs.assigned(AddressScope.GUA)[0].address
+    scanner = WanScanner(testbed, extra_targets={device.name: (leaked,)})
+    result = scanner.run()
+
+    report = result.devices[device.name]
+    assert result.extra_probed == 1
+    assert leaked not in report.discovered
+    assert not report.discoverable          # privacy addressing still hides it
+    # ... but the direct probe of the leaked address reached the device
+    assert report.responsive
+    assert 8001 in report.open_tcp

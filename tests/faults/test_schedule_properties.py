@@ -1,0 +1,97 @@
+"""Property tests for the fault-schedule window algebra.
+
+The schedule layer is pure data with a handful of algebraic promises the
+injector and every downstream subsystem (faults fleet, adversary worm
+composition) lean on: zero-length windows are invisible, touching windows
+hand off without overlap at the boundary (closed-open intervals), and
+combining schedules is order-invariant because ``__post_init__`` normalizes
+window order. Hypothesis explores the corners example tests miss.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.schedule import FAULT_KINDS, FaultSchedule, FaultWindow
+
+times = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False)
+durations = st.floats(min_value=0.0, max_value=500.0, allow_nan=False, allow_infinity=False)
+positive_durations = st.floats(min_value=0.001, max_value=500.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def fault_windows(draw):
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    start = draw(times)
+    duration = draw(durations)
+    severity = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    return FaultWindow(kind, start, start + duration, severity=severity)
+
+
+window_lists = st.lists(fault_windows(), max_size=6)
+
+
+@given(fault_windows(), times)
+def test_active_matches_the_closed_open_interval(window, now):
+    assert window.active(now) == (window.start <= now < window.end)
+
+
+@given(st.sampled_from(FAULT_KINDS), times, times)
+def test_zero_length_windows_are_invisible(kind, at, probe):
+    schedule = FaultSchedule.of("zero", [FaultWindow(kind, at, at)])
+    assert schedule.is_noop
+    assert not schedule.overlaps(float("inf"))
+    assert schedule.first_start is None and schedule.last_end is None
+    assert schedule.active(kind, probe) is None
+
+
+@given(st.sampled_from(FAULT_KINDS), times, positive_durations, positive_durations)
+def test_touching_windows_hand_off_without_gap_or_overlap(kind, start, first, second):
+    boundary = start + first
+    end = boundary + second
+    schedule = FaultSchedule.of(
+        "touching", [FaultWindow(kind, start, boundary), FaultWindow(kind, boundary, end)]
+    )
+    # exactly one window active at the seam: the earlier one has closed
+    assert schedule.active(kind, boundary) == FaultWindow(kind, boundary, end)
+    # continuous coverage across the union of both windows
+    for probe in (start, start + first / 2, boundary, boundary + second / 2):
+        assert schedule.active(kind, probe) is not None
+    assert schedule.active(kind, end) is None
+    assert schedule.first_start == start
+    assert schedule.last_end == end
+
+
+@settings(max_examples=50)
+@given(window_lists, window_lists)
+def test_combine_is_order_invariant(a, b):
+    one = FaultSchedule.of("a", a)
+    two = FaultSchedule.of("b", b)
+    assert one.combine(two).windows == two.combine(one).windows
+    assert one.combine(two).kinds() == two.combine(one).kinds()
+
+
+@settings(max_examples=50)
+@given(window_lists, window_lists, window_lists)
+def test_combine_is_associative_on_windows(a, b, c):
+    one, two, three = (FaultSchedule.of(n, w) for n, w in (("a", a), ("b", b), ("c", c)))
+    left = one.combine(two).combine(three)
+    right = one.combine(two.combine(three))
+    assert left.windows == right.windows
+
+
+@settings(max_examples=50)
+@given(window_lists, window_lists, st.floats(min_value=0.0, max_value=500.0, allow_nan=False))
+def test_shift_distributes_over_combine(a, b, offset):
+    one = FaultSchedule.of("a", a)
+    two = FaultSchedule.of("b", b)
+    combined_then_shifted = one.combine(two).shifted(offset)
+    shifted_then_combined = one.shifted(offset).combine(two.shifted(offset))
+    assert combined_then_shifted.windows == shifted_then_combined.windows
+
+
+@settings(max_examples=50)
+@given(window_lists)
+def test_normalized_window_order_is_canonical(windows):
+    schedule = FaultSchedule.of("fwd", windows)
+    reversed_schedule = FaultSchedule.of("rev", list(reversed(windows)))
+    assert schedule.windows == reversed_schedule.windows

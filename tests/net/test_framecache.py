@@ -62,6 +62,23 @@ class TestFrameCache:
         cache.decode(data)
         assert cache.hit_rate == pytest.approx(2 / 3)
 
+    def test_rates_on_untouched_cache_are_zero_not_an_error(self):
+        """A cache that has observed nothing reports 0.0 for every rate —
+        reading stats before traffic flows must never raise ZeroDivisionError."""
+        cache = FrameCache()
+        assert cache.hit_rate == 0.0
+        assert cache.prime_rate == 0.0
+
+    def test_prime_rate_counts_prime_outcomes(self):
+        cache = FrameCache()
+        data = frame_bytes()
+        frame = Ethernet(MAC_B, MAC_A, 0x1234, Raw(b"hello"))
+        cache.prime(data, frame)
+        assert cache.prime_rate == 1.0      # one prime, no prime hits yet
+        cache.prime(data, frame)            # re-prime of a cached key
+        assert cache.prime_rate == 0.5
+        assert cache.hit_rate == 0.0        # decode counters untouched
+
     def test_clear_forgets_entries_not_counters(self):
         cache = FrameCache()
         data = frame_bytes()

@@ -92,6 +92,45 @@ def test_fleet_worker_failure_exits_nonzero(capsys, monkeypatch):
     assert "Fleet summary" in captured.out
 
 
+# ---- argument validation: negative seeds and duplicate names exit 2
+
+
+@pytest.mark.parametrize("command", ["fleet", "exposure", "faults", "adversary"])
+def test_negative_seed_rejected(command, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--homes", "1", "--seed", "-1"])
+    assert excinfo.value.code == 2
+    assert "must be >= 0, got -1" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    ("argv", "what"),
+    [
+        (["exposure", "--homes", "1", "--firewall", "open", "open"], "firewall mode(s)"),
+        (["adversary", "--homes", "1", "--firewall", "stateful", "stateful"], "firewall mode(s)"),
+        (["faults", "--homes", "1", "--configs", "dual-stack", "dual-stack"], "config(s)"),
+        (["faults", "--homes", "1", "--faults", "dns-blackout", "dns-blackout"], "fault preset(s)"),
+    ],
+)
+def test_duplicate_names_rejected(argv, what, capsys):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert "duplicate" in err and what.split("(")[0] in err
+
+
+def test_adversary_command(capsys):
+    assert main(["adversary", "--homes", "2", "--seed", "7", "--jobs", "1",
+                 "--firewall", "open", "--horizon", "600", "--strategy", "eui64-sweep"]) == 0
+    out = capsys.readouterr().out
+    assert "Worm outbreak (eui64-sweep" in out
+    assert "Entry surface by address kind" in out
+
+
+def test_adversary_unknown_scenario(capsys):
+    assert main(["adversary", "--homes", "1", "--scenario", "bogus"]) == 2
+    assert "bogus" in capsys.readouterr().err
+
+
 def test_faults_worker_failure_exits_nonzero(capsys, monkeypatch):
     import repro.faults.population as population
 
