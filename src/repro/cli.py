@@ -19,6 +19,12 @@ Commands:
 - ``adversary`` run a scanning campaign (EUI-64 sweep, low-IID sweep, or
   hitlist replay) and worm outbreak against a fleet and print deterministic
   time-to-compromise curves by firewall mode, address kind and fleet mix
+- ``lifecycle`` advance a fleet through simulated months: device churn,
+  firmware updates, RFC 8981 address rotation and a staged ISP rollout
+  wave, printing brick-rate / readiness / exposure trajectories per epoch
+
+``faults --list-presets`` and ``lifecycle --list-waves`` print the known
+preset/wave names one per line and exit 0 without running anything.
 
 Fleet-style commands exit 2 when no work was generated (e.g. ``--homes 0``)
 or the arguments are invalid (negative seed, duplicate spec names, unknown
@@ -153,6 +159,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault preset(s) to inject (e.g. dns-blackout, uplink-flap, v6-brownout, flaky-lan)",
     )
     faults.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
+    faults.add_argument(
+        "--list-presets", action="store_true", help="print the known fault preset names and exit"
+    )
+
+    lifecycle = sub.add_parser(
+        "lifecycle", help="advance a fleet through simulated months, print per-epoch trajectories"
+    )
+    lifecycle.add_argument("--homes", type=_non_negative_int, default=4, help="number of synthetic homes")
+    lifecycle.add_argument("--epochs", type=_positive_int, default=6, help="simulated months per home")
+    lifecycle.add_argument("--seed", type=_non_negative_int, default=42)
+    lifecycle.add_argument("--jobs", type=_positive_int, default=1, help="worker processes (1 = serial)")
+    lifecycle.add_argument(
+        "--wave",
+        default="staged-v6only",
+        help="ISP rollout wave (e.g. none, flash-cut, staged-v6only, v4-sunset, canary)",
+    )
+    lifecycle.add_argument(
+        "--fault",
+        default="none",
+        metavar="PRESET",
+        help="fault preset injected in each home's transition epochs (e.g. ra-blackout)",
+    )
+    lifecycle.add_argument(
+        "--exposure", action="store_true", help="WAN-scan every epoch (IPv6-capable configs only)"
+    )
+    lifecycle.add_argument(
+        "--no-rotation",
+        action="store_true",
+        help="disable RFC 8981 rotate-out on privacy-addressed devices",
+    )
+    lifecycle.add_argument("--leave-rate", type=float, default=0.06, help="per-device departure probability per epoch")
+    lifecycle.add_argument("--join-rate", type=float, default=0.35, help="per-home arrival probability per epoch")
+    lifecycle.add_argument(
+        "--update-rate", type=float, default=0.18, help="per-device firmware-update probability per epoch"
+    )
+    lifecycle.add_argument("--timeout", type=float, default=None, help="per-epoch wall-clock budget in seconds")
+    lifecycle.add_argument(
+        "--list-waves", action="store_true", help="print the known rollout wave names and exit"
+    )
 
     adversary = sub.add_parser(
         "adversary", help="run a scanning campaign + worm outbreak against a fleet, print time-to-compromise"
@@ -345,6 +390,13 @@ def main(argv: list[str] | None = None) -> int:
         return _fleet_exit(fleet)
 
     if args.command == "faults":
+        if args.list_presets:
+            from repro.faults.schedule import FAULT_PRESETS
+
+            for name in sorted(FAULT_PRESETS):
+                print(name)
+            return 0
+
         from repro.faults import aggregate_faults, generate_fault_specs, run_fault_fleet
         from repro.reports import render_faults
 
@@ -381,6 +433,60 @@ def main(argv: list[str] | None = None) -> int:
         fleet = run_fault_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=fault_progress)
         print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
         print(render_faults(aggregate_faults(fleet)))
+        return _fleet_exit(fleet)
+
+    if args.command == "lifecycle":
+        if args.list_waves:
+            from repro.lifecycle.rollout import WAVES
+
+            for name in sorted(WAVES):
+                print(name)
+            return 0
+
+        from repro.lifecycle import (
+            LifecycleParams,
+            aggregate_lifecycle,
+            build_timelines,
+            run_lifecycle_fleet,
+            timeline_specs,
+        )
+        from repro.reports import render_lifecycle
+
+        try:
+            params = LifecycleParams(
+                epochs=args.epochs,
+                wave=args.wave,
+                leave_rate=args.leave_rate,
+                join_rate=args.join_rate,
+                update_rate=args.update_rate,
+                fault_name=args.fault,
+                exposure=args.exposure,
+                rotation=not args.no_rotation,
+            )
+            timelines = build_timelines(args.homes, seed=args.seed, params=params)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        specs = timeline_specs(timelines)
+        if not specs:
+            return _no_work("--homes 0 generates an empty timeline")
+        print(
+            f"advancing {args.homes} homes through {args.epochs} epochs "
+            f"(wave={args.wave}, fault={args.fault}, seed={args.seed}, jobs={args.jobs}) ...",
+            file=sys.stderr,
+        )
+
+        def epoch_progress(done, total, result):
+            status = "ok" if result.ok else "FAILED"
+            print(
+                f"  home {result.spec.home_id:4d} [epoch {result.spec.epoch}] [{done}/{total}] {status}",
+                file=sys.stderr,
+            )
+
+        start = time.time()
+        fleet = run_lifecycle_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=epoch_progress)
+        print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+        print(render_lifecycle(aggregate_lifecycle(fleet, wave_name=args.wave)))
         return _fleet_exit(fleet)
 
     if args.command == "adversary":

@@ -112,6 +112,7 @@ class IoTDevice:
             temporary_addr_count=gua_count,
             temporary_spread=60.0 if (p.gua_rotation_fast or not network.ipv6 or network.ipv4) else 800.0,
             temporary_start=5.0 if p.gua_rotation_fast else (30.0 if network.ipv4 else 250.0),
+            temporary_rotate_out=p.gua_rotate_out,
             lla_rotations=lla_rotations,
             form_ula=phase.ula,
             ula_prefix_seed=p.slug,

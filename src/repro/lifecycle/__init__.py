@@ -1,0 +1,67 @@
+"""repro.lifecycle: longitudinal timelines over the simulated fleet.
+
+The paper measures homes at one instant; this package grows that snapshot
+into a movie. A seeded timeline engine advances every home through discrete
+epochs — devices churn in and out, vendors ship firmware that swaps
+capability profiles, RFC 8981 temporary addresses rotate the exposure
+surface, and the ISP walks the fleet through staged config rollouts
+(IPv4-only → dual-stack → IPv6-only). Each (home, epoch) cell is one
+ordinary home study run through the existing fleet executor, and the
+results fold into brick-rate / readiness / exposure trajectories.
+"""
+
+from repro.lifecycle.analysis import EpochExposure, EpochSummary, run_home_epoch, v6_ready
+from repro.lifecycle.firmware import (
+    REVISIONS,
+    FirmwareRevision,
+    apply_revisions,
+    evolve,
+    get_revision,
+    upgrade_path,
+)
+from repro.lifecycle.population import (
+    EpochStats,
+    LifecycleAggregate,
+    aggregate_lifecycle,
+    brick_trajectory,
+    run_lifecycle_fleet,
+)
+from repro.lifecycle.rollout import WAVES, RolloutWave, WaveStage, get_wave
+from repro.lifecycle.timeline import (
+    MIN_HOME_SIZE,
+    EpochSpec,
+    HomeTimeline,
+    LifecycleParams,
+    build_timeline,
+    build_timelines,
+    timeline_specs,
+)
+
+__all__ = [
+    "EpochExposure",
+    "EpochSpec",
+    "EpochStats",
+    "EpochSummary",
+    "FirmwareRevision",
+    "HomeTimeline",
+    "LifecycleAggregate",
+    "LifecycleParams",
+    "MIN_HOME_SIZE",
+    "REVISIONS",
+    "RolloutWave",
+    "WAVES",
+    "WaveStage",
+    "aggregate_lifecycle",
+    "apply_revisions",
+    "brick_trajectory",
+    "build_timeline",
+    "build_timelines",
+    "evolve",
+    "get_revision",
+    "get_wave",
+    "run_home_epoch",
+    "run_lifecycle_fleet",
+    "timeline_specs",
+    "upgrade_path",
+    "v6_ready",
+]

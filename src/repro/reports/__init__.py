@@ -21,6 +21,7 @@ from repro.reports.adversary import render_adversary
 from repro.reports.exposure import render_exposure
 from repro.reports.faults import render_faults
 from repro.reports.fleet import render_fleet_summary
+from repro.reports.lifecycle import render_lifecycle
 from repro.reports.figures import (
     figure2_data,
     figure3_data,
@@ -56,4 +57,5 @@ __all__ = [
     "render_exposure",
     "render_faults",
     "render_fleet_summary",
+    "render_lifecycle",
 ]

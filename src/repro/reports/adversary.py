@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.adversary.population import AdversaryAggregate, FirewallOutcome
 from repro.adversary.worm import InfectionTimeline
-from repro.reports.render import format_table
+from repro.reports.render import compose_report, format_table, run_counts
 
 # How many timeline checkpoints the curve table shows per firewall mode.
 CURVE_POINTS = 6
@@ -61,29 +61,25 @@ def render_adversary(aggregate: AdversaryAggregate) -> str:
     title = (
         f"Worm outbreak ({params.strategy}, scan_rate={params.scan_rate:g}/s, "
         f"horizon={params.horizon:g}s, scenario={aggregate.scenario_name or '?'}{fault}): "
-        f"{aggregate.completed}/{aggregate.total_runs} cells"
+        + run_counts(aggregate.completed, aggregate.total_runs, "cells", len(aggregate.failed))
     )
-    lines = [
-        format_table(
-            title,
-            ["Firewall", "Homes", "Immune", "Susc.", "t_first", "t50", "t90", "Compr.", "Compr. %", "Peer", "Dropped"],
-            rows,
-        )
-    ]
+    outbreak = format_table(
+        title,
+        ["Firewall", "Homes", "Immune", "Susc.", "t_first", "t50", "t90", "Compr.", "Compr. %", "Peer", "Dropped"],
+        rows,
+    )
 
     kind_rows = [
         [f"{outcome.firewall}/{stats.kind}", stats.devices, stats.exploitable, stats.entry_addresses]
         for outcome in aggregate.per_firewall
         for stats in outcome.by_addr_kind
     ]
+    kinds = None
     if kind_rows:
-        lines.append("")
-        lines.append(
-            format_table(
-                f"Entry surface by address kind ({params.strategy})",
-                ["Firewall/kind", "Devices", "Exploitable", "Entry addrs"],
-                kind_rows,
-            )
+        kinds = format_table(
+            f"Entry surface by address kind ({params.strategy})",
+            ["Firewall/kind", "Devices", "Exploitable", "Entry addrs"],
+            kind_rows,
         )
 
     config_rows = [
@@ -92,27 +88,21 @@ def render_adversary(aggregate: AdversaryAggregate) -> str:
         for cell in outcome.by_config
         if len(outcome.by_config) > 1
     ]
+    configs = None
     if config_rows:
-        lines.append("")
-        lines.append(
-            format_table(
-                "Outcome by network config (fleet mix)",
-                ["Firewall/config", "Homes", "Susc.", "Compr."],
-                config_rows,
-            )
+        configs = format_table(
+            "Outcome by network config (fleet mix)",
+            ["Firewall/config", "Homes", "Susc.", "Compr."],
+            config_rows,
         )
 
     curve_rows = [row for outcome in aggregate.per_firewall for row in _curve_rows(outcome)]
+    curves = None
     if curve_rows:
-        lines.append("")
-        lines.append(
-            format_table(
-                "Infection timeline checkpoints",
-                ["Firewall", "Time", "S", "I", "R", "Compromised"],
-                curve_rows,
-            )
+        curves = format_table(
+            "Infection timeline checkpoints",
+            ["Firewall", "Time", "S", "I", "R", "Compromised"],
+            curve_rows,
         )
 
-    for home_id, firewall, error in aggregate.failed:
-        lines.append(f"FAILED home {home_id} [{firewall}]: {error}")
-    return "\n".join(lines)
+    return compose_report([outbreak, kinds, configs, curves], failures=aggregate.failed)

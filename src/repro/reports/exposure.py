@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.exposure.population import ExposureAggregate
-from repro.reports.render import format_table
+from repro.reports.render import compose_report, format_table, run_counts
 
 
 def render_exposure(aggregate: ExposureAggregate) -> str:
@@ -26,8 +26,7 @@ def render_exposure(aggregate: ExposureAggregate) -> str:
         )
     title = (
         f"WAN exposure: {aggregate.config_name or 'n/a'}, "
-        f"{aggregate.completed}/{aggregate.total_runs} home-scans"
-        + (f", {len(aggregate.failed)} failed" if aggregate.failed else "")
+        + run_counts(aggregate.completed, aggregate.total_runs, "home-scans", len(aggregate.failed))
     )
     table = format_table(
         title,
@@ -50,16 +49,11 @@ def render_exposure(aggregate: ExposureAggregate) -> str:
     for stats in aggregate.per_firewall:
         for kind in stats.by_addr_kind:
             kind_rows.append([f"{stats.firewall}/{kind.kind}", kind.devices, kind.discoverable, kind.reachable])
-    lines = [table]
+    kinds = None
     if kind_rows:
-        lines.append("")
-        lines.append(
-            format_table(
-                "Discovery by address type (firewall/kind)",
-                ["Firewall/kind", "Devices", "Discoverable", "Reachable"],
-                kind_rows,
-            )
+        kinds = format_table(
+            "Discovery by address type (firewall/kind)",
+            ["Firewall/kind", "Devices", "Discoverable", "Reachable"],
+            kind_rows,
         )
-    for home_id, firewall, error in aggregate.failed:
-        lines.append(f"FAILED home {home_id} [{firewall}]: {error}")
-    return "\n".join(lines)
+    return compose_report([table, kinds], failures=aggregate.failed)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.faults.population import FaultAggregate
-from repro.reports.render import format_table
+from repro.reports.render import compose_report, format_table, run_counts
 
 
 def _ttr_cell(stats) -> str:
@@ -31,8 +31,7 @@ def render_faults(aggregate: FaultAggregate) -> str:
         )
     title = (
         f"Fault degradation: {aggregate.homes} homes, "
-        f"{aggregate.completed}/{aggregate.total_runs} cells"
-        + (f", {len(aggregate.failed)} failed" if aggregate.failed else "")
+        + run_counts(aggregate.completed, aggregate.total_runs, "cells", len(aggregate.failed))
     )
     table = format_table(
         title,
@@ -50,16 +49,11 @@ def render_faults(aggregate: FaultAggregate) -> str:
         ]
         for cell in aggregate.cells
     ]
-    lines = [table]
+    symptoms = None
     if symptom_rows:
-        lines.append("")
-        lines.append(
-            format_table(
-                "Extra symptoms vs paired clean runs",
-                ["Config/fault", "DNS retries", "DNS timeouts", "Flow fails", "v4 fallbacks"],
-                symptom_rows,
-            )
+        symptoms = format_table(
+            "Extra symptoms vs paired clean runs",
+            ["Config/fault", "DNS retries", "DNS timeouts", "Flow fails", "v4 fallbacks"],
+            symptom_rows,
         )
-    for home_id, config_name, error in aggregate.failed:
-        lines.append(f"FAILED home {home_id} [{config_name}]: {error}")
-    return "\n".join(lines)
+    return compose_report([table, symptoms], failures=aggregate.failed)

@@ -8,7 +8,7 @@ byte-identical summaries.
 from __future__ import annotations
 
 from repro.fleet.aggregate import FleetAggregate
-from repro.reports.render import format_table
+from repro.reports.render import compose_report, format_table, run_counts
 
 
 def render_fleet_summary(aggregate: FleetAggregate) -> str:
@@ -26,9 +26,8 @@ def render_fleet_summary(aggregate: FleetAggregate) -> str:
                 f"{100.0 * stats.fraction_homes_eui64:.1f}%",
             ]
         )
-    title = (
-        f"Fleet summary: {aggregate.completed_homes}/{aggregate.total_homes} homes simulated"
-        + (f", {len(aggregate.failed_homes)} failed" if aggregate.failed_homes else "")
+    title = "Fleet summary: " + run_counts(
+        aggregate.completed_homes, aggregate.total_homes, "homes simulated", len(aggregate.failed_homes)
     )
     table = format_table(
         title,
@@ -36,20 +35,17 @@ def render_fleet_summary(aggregate: FleetAggregate) -> str:
         rows,
     )
 
-    lines = [table]
-    lines.append(
+    notes = [
         "Fleet totals: "
         f"{100.0 * aggregate.fraction_homes_bricked:.1f}% of homes have >=1 bricked device, "
         f"E[bricked/home]={aggregate.expected_bricked_per_home:.2f}, "
         f"EUI-64 exposure={100.0 * aggregate.eui64_device_prevalence:.1f}% of devices"
-    )
+    ]
     share = aggregate.v6_share
     if share is not None:
-        lines.append(
+        notes.append(
             f"Dual-stack IPv6 traffic share ({share.count} homes): "
             f"min={100.0 * share.minimum:.1f}%  median={100.0 * share.median:.1f}%  "
             f"mean={100.0 * share.mean:.1f}%  max={100.0 * share.maximum:.1f}%"
         )
-    for home_id, error in aggregate.failed_homes:
-        lines.append(f"FAILED home {home_id}: {error}")
-    return "\n".join(lines)
+    return compose_report([table], notes=notes, failures=aggregate.failed_homes)

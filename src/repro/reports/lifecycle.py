@@ -1,0 +1,94 @@
+"""Lifecycle report: fleet trajectories across simulated months.
+
+The tables read left-to-right as time series — one row per epoch — so the
+paper's headline numbers (brick rate under IPv6-only, readiness, exposure
+surface) become *curves* instead of points: you can watch a staged rollout
+push the brick rate up wave by wave and firmware updates claw it back down.
+"""
+
+from __future__ import annotations
+
+from repro.lifecycle.population import LifecycleAggregate
+from repro.reports.render import compose_report, format_table, run_counts
+
+
+def _mix_cell(config_mix: tuple[tuple[str, int], ...]) -> str:
+    return " ".join(f"{name}:{count}" for name, count in config_mix) or "-"
+
+
+def render_lifecycle(aggregate: LifecycleAggregate) -> str:
+    """Trajectory tables plus transition-timing and recovery notes."""
+    rows = []
+    for epoch in aggregate.epochs:
+        rows.append(
+            [
+                epoch.epoch,
+                epoch.homes,
+                epoch.devices,
+                epoch.bricked,
+                f"{100.0 * epoch.brick_rate:.1f}%",
+                epoch.ready,
+                epoch.transitions,
+                epoch.joins,
+                epoch.leaves,
+                epoch.firmware_updates,
+                _mix_cell(epoch.config_mix),
+            ]
+        )
+    title = (
+        f"Lifecycle ({aggregate.wave_name}, {aggregate.homes} homes x "
+        f"{aggregate.epoch_count} epochs): "
+        + run_counts(aggregate.completed, aggregate.total_runs, "epoch-studies", len(aggregate.failed))
+    )
+    headers = [
+        "Epoch",
+        "Homes",
+        "Devices",
+        "Brick",
+        "Brick %",
+        "Ready",
+        "Trans.",
+        "Joins",
+        "Leaves",
+        "Firmware",
+        "Config mix",
+    ]
+    trajectory = format_table(title, headers, rows)
+
+    surface_rows = [
+        [
+            epoch.epoch,
+            epoch.gua_addresses,
+            epoch.retired_addresses,
+            epoch.eui64,
+            epoch.discoverable if epoch.scanned_homes else "-",
+            epoch.reachable if epoch.scanned_homes else "-",
+        ]
+        for epoch in aggregate.epochs
+    ]
+    surface = format_table(
+        "Address surface drift (RFC 8981 rotation + WAN scans)",
+        ["Epoch", "GUAs", "Retired", "EUI-64 dev", "Discov.", "Reach."],
+        surface_rows,
+    )
+
+    notes = []
+    if aggregate.transitioned_homes:
+        sketch = aggregate.transition_epochs
+        notes.append(
+            f"time to transition: median epoch {sketch.median:.1f} "
+            f"(p90 {sketch.quantile(0.9):.1f}) across {aggregate.transitioned_homes} transitioned homes"
+        )
+    else:
+        notes.append("time to transition: no home transitioned inside the horizon")
+    notes.append(
+        f"home trajectories: {aggregate.never_bricked_homes} never bricked, "
+        f"{aggregate.recovered_homes} recovered by the end, "
+        f"{aggregate.bricked_at_end_homes} still bricked"
+    )
+    notes.append(
+        f"device flips: {aggregate.brick_flips} functional->bricked, "
+        f"{aggregate.recovered_devices} bricked->functional (firmware/config recovery)"
+    )
+    notes.append(f"rotated-out addresses answering WAN probes: {aggregate.retired_responsive} (must be 0)")
+    return compose_report([trajectory, surface], notes=notes, failures=aggregate.failed)

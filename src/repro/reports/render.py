@@ -1,8 +1,17 @@
-"""Plain-text table rendering used by every report."""
+"""Plain-text table rendering used by every report.
+
+Beyond :func:`format_table`, this module owns the report *composition*
+conventions every subsystem renderer shares: the ``completed/total`` run
+counter in titles (:func:`run_counts`), the trailing ``FAILED home ...``
+lines (:func:`failure_lines`), and the blank-line layout between tables
+(:func:`compose_report`). Renderers assemble sections; this module spells
+them, so the fleet/exposure/faults/adversary/lifecycle reports stay
+byte-for-byte consistent with each other.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional, Sequence
 
 
 def format_table(title: str, headers: list[str], rows: Iterable[list]) -> str:
@@ -28,3 +37,49 @@ def _cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.1f}"
     return str(value)
+
+
+def run_counts(completed: int, total: int, unit: str, failed: int = 0) -> str:
+    """The ``12/16 cells, 1 failed`` fragment every report title carries."""
+    text = f"{completed}/{total} {unit}"
+    if failed:
+        text += f", {failed} failed"
+    return text
+
+
+def failure_lines(failures: Iterable[tuple]) -> list[str]:
+    """Trailing per-failure lines; tuples are (home, error) or (home, key, error)."""
+    lines = []
+    for failure in failures:
+        if len(failure) == 3:
+            home_id, key, error = failure
+            lines.append(f"FAILED home {home_id} [{key}]: {error}")
+        else:
+            home_id, error = failure
+            lines.append(f"FAILED home {home_id}: {error}")
+    return lines
+
+
+def compose_report(
+    sections: Sequence[Optional[str]],
+    *,
+    notes: Sequence[str] = (),
+    failures: Iterable[tuple] = (),
+) -> str:
+    """Join table sections with blank lines, then notes and failure lines.
+
+    ``sections`` entries that are None or empty are skipped, so renderers can
+    pass conditionally-built tables without guarding each append. ``notes``
+    are free-form summary lines attached directly under the last table (no
+    blank line), matching the fleet report's ``Fleet totals:`` layout.
+    """
+    lines: list[str] = []
+    for section in sections:
+        if not section:
+            continue
+        if lines:
+            lines.append("")
+        lines.append(section)
+    lines.extend(notes)
+    lines.extend(failure_lines(failures))
+    return "\n".join(lines)

@@ -35,6 +35,7 @@ class AddressRecord:
     tentative: bool = True
     dad_performed: bool = False
     used: bool = False               # ever sourced non-NDP traffic
+    deprecated: bool = False         # RFC 8981: valid but not preferred
 
     def __post_init__(self):
         self.scope = classify_address(self.address)
@@ -61,6 +62,10 @@ class AddressManager:
         self.records: list[AddressRecord] = []
         self._by_addr: dict[ipaddress.IPv6Address, AddressRecord] = {}
         self._dad_counters: dict = {}
+        # RFC 8981 preferred-lifetime expiry removes rotated-out temporary
+        # addresses entirely; the trail of retired addresses stays observable
+        # (exposure tests replay them as stale hitlist entries).
+        self.retired: list[ipaddress.IPv6Address] = []
 
     # -- interface-identifier generation -------------------------------------
 
@@ -103,6 +108,19 @@ class AddressManager:
         self.records = [r for r in self.records if r.address != address]
         self._by_addr.pop(address, None)
 
+    def deprecate(self, address) -> None:
+        """RFC 8981: preferred lifetime over — keep for old flows, never prefer."""
+        record = self.get(address)
+        if record is not None:
+            record.deprecated = True
+
+    def retire(self, address) -> None:
+        """Valid lifetime over: drop the record, remember it rotated out."""
+        address = as_ipv6(address)
+        if self.get(address) is not None:
+            self.remove(address)
+            self.retired.append(address)
+
     def owns(self, address, include_tentative: bool = False) -> bool:
         record = self.get(address)
         if record is None:
@@ -125,7 +143,10 @@ class AddressManager:
         for scope in preference:
             candidates = self.assigned(scope)
             if candidates:
-                return candidates[-1]
+                # RFC 6724 rule 3: avoid deprecated addresses for new flows
+                # when any preferred candidate of the scope remains.
+                preferred = [r for r in candidates if not r.deprecated]
+                return (preferred or candidates)[-1]
         return None
 
     def note_dad_conflict(self, prefix) -> None:

@@ -89,6 +89,15 @@ class StackConfig:
     temporary_start: float = 250.0      # delay before the first extra GUA
     lla_rotations: int = 0              # times the LLA is re-generated mid-run
 
+    # RFC 8981 rotate-out: when a fresh temporary GUA forms, deprecate the
+    # previous temporaries on that prefix (kept for established flows, never
+    # preferred for new ones) and remove them ``temporary_valid_tail``
+    # seconds later. Off by default — the paper's testbed devices accumulate
+    # addresses within one experiment window; the lifecycle subsystem turns
+    # this on to make the exposure surface drift between epochs.
+    temporary_rotate_out: bool = False
+    temporary_valid_tail: float = 200.0
+
     # ULA (Matter/HomeKit-style local fabric)
     form_ula: bool = False
     ula_prefix_seed: str = ""           # device fabric identity

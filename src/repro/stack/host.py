@@ -393,8 +393,21 @@ class HostStack(Node):
     def _form_temporary(self, network: ipaddress.IPv6Network) -> None:
         if not self._booted or self.ipv6_shutdown:
             return
+        predecessors = [
+            r
+            for r in self.addrs.records
+            if r.origin == "slaac" and r.iid_kind == "temporary" and not r.deprecated and r.address in network
+        ]
         record = self.addrs.form(network.network_address, "temporary", origin="slaac")
         self._start_dad(record)
+        if self.config.temporary_rotate_out:
+            # RFC 8981: the fresh temporary becomes the preferred source; its
+            # predecessors ride out a valid-lifetime tail, then vanish.
+            for old in predecessors:
+                if old is record:
+                    continue
+                self.addrs.deprecate(old.address)
+                self.sim.schedule(self.config.temporary_valid_tail, self.addrs.retire, old.address)
 
     # ----------------------------------------------------------------- DHCPv6
 

@@ -145,6 +145,7 @@ def run_home_study(
     *,
     checkins: int = 2,
     fault_schedule=None,
+    profiles=None,
     progress: Optional[Callable[[float, int], None]] = None,
     progress_interval: float = 100.0,
 ) -> Study:
@@ -157,13 +158,17 @@ def run_home_study(
     :class:`Study`. ``fault_schedule``, if given, is a
     :class:`~repro.faults.schedule.FaultSchedule` injected into the home's
     link and router for the whole run (the injector's counters are exposed
-    as ``study.testbed.faults``). ``progress``, if given, is polled on a
-    simulated timer with ``(virtual_time, simulator.pending)``; the timer
-    callbacks touch no device state, so enabling progress does not perturb
-    the simulation.
+    as ``study.testbed.faults``). ``profiles``, if given, overrides the
+    inventory lookup with pre-built (possibly transformed) profiles — the
+    lifecycle subsystem passes firmware-upgraded variants this way; callers
+    must keep it consistent with ``device_names``. ``progress``, if given,
+    is polled on a simulated timer with ``(virtual_time,
+    simulator.pending)``; the timer callbacks touch no device state, so
+    enabling progress does not perturb the simulation.
     """
     config = resolve_config(config)
-    profiles = profiles_by_name(device_names)
+    if profiles is None:
+        profiles = profiles_by_name(device_names)
     testbed = Testbed(seed=seed, profiles=profiles, include_controls=False)
 
     if fault_schedule is not None:

@@ -1,0 +1,96 @@
+"""Property tests for the mergeable streaming aggregates.
+
+The lifecycle time-series and the sharded-fleet roadmap item both fold
+partial aggregates in whatever grouping the worker topology produces, so
+``merge`` must be exactly associative — not merely approximately.
+``StreamStats`` keeps totals as exact ``Fraction``s for precisely this
+reason, which lets every assertion here demand **equality**, not
+``isclose``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.aggregate import QuantileSketch, StreamStats
+
+values = st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False)
+samples = st.lists(values, max_size=40)
+
+
+@given(samples, samples, samples)
+def test_streamstats_merge_associative(xs, ys, zs):
+    a, b, c = StreamStats.of(xs), StreamStats.of(ys), StreamStats.of(zs)
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(samples, samples)
+def test_streamstats_merge_matches_concatenation(xs, ys):
+    assert StreamStats.of(xs).merge(StreamStats.of(ys)) == StreamStats.of(xs + ys)
+
+
+@given(samples)
+def test_streamstats_agrees_with_builtins(xs):
+    stats = StreamStats.of(xs)
+    assert stats.count == len(xs)
+    if xs:
+        assert stats.minimum == min(xs) and stats.maximum == max(xs)
+        assert stats.sum == pytest.approx(math.fsum(xs))
+        assert stats.mean == pytest.approx(math.fsum(xs) / len(xs))
+    else:
+        assert stats.minimum is None and stats.mean is None
+
+
+@given(samples, samples, samples)
+@settings(max_examples=60)
+def test_sketch_merge_associative(xs, ys, zs):
+    a, b, c = QuantileSketch.of(xs), QuantileSketch.of(ys), QuantileSketch.of(zs)
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(samples, samples)
+def test_sketch_merge_matches_concatenation(xs, ys):
+    assert QuantileSketch.of(xs).merge(QuantileSketch.of(ys)) == QuantileSketch.of(xs + ys)
+
+
+@given(samples, st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=120)
+def test_sketch_quantile_relative_error(xs, q):
+    sketch = QuantileSketch.of(xs)
+    estimate = sketch.quantile(q)
+    if not xs:
+        assert estimate is None
+        return
+    true = sorted(xs)[int(math.floor(q * (len(xs) - 1)))]
+    # alpha relative error, plus a whisker for log/pow rounding at bucket edges
+    assert abs(estimate - true) <= sketch.alpha * true * (1.0 + 1e-6) + 1e-9
+
+
+def test_sketch_rejects_bad_input():
+    with pytest.raises(ValueError):
+        QuantileSketch().add(-1.0)
+    with pytest.raises(ValueError):
+        QuantileSketch().add(float("nan"))
+    with pytest.raises(ValueError):
+        QuantileSketch(alpha=0.0)
+    with pytest.raises(ValueError):
+        QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+    with pytest.raises(ValueError):
+        QuantileSketch().quantile(1.5)
+
+
+def test_sketch_median_of_known_values():
+    sketch = QuantileSketch.of([10.0] * 50 + [100.0] * 50)
+    assert sketch.median == pytest.approx(10.0, rel=0.011)
+    assert sketch.quantile(0.0) == pytest.approx(10.0, rel=0.011)
+    assert sketch.quantile(1.0) == 100.0  # clamped to the exact maximum
+    assert sketch.count == 100
+
+
+def test_sketch_zero_values_exact():
+    sketch = QuantileSketch.of([0.0, 0.0, 0.0, 5.0])
+    assert sketch.median == 0.0
+    assert sketch.quantile(1.0) == 5.0
+    assert sketch.zero_count == 3

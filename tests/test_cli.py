@@ -143,3 +143,63 @@ def test_faults_worker_failure_exits_nonzero(capsys, monkeypatch):
     captured = capsys.readouterr()
     assert "home run(s) failed" in captured.err
     assert "fault worker crashed" in captured.err
+
+
+@pytest.mark.parametrize(
+    ("argv", "expected"),
+    [
+        (["faults", "--list-presets"], "dns-blackout"),
+        (["lifecycle", "--list-waves"], "staged-v6only"),
+    ],
+)
+def test_list_flags_print_one_name_per_line(argv, expected, capsys):
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    names = out.splitlines()
+    assert expected in names
+    assert "none" in names
+    assert names == sorted(names)
+    # one bare name per line: no spaces, no prose, nothing else
+    assert all(name and " " not in name for name in names)
+
+
+def test_lifecycle_command(capsys):
+    assert main(["lifecycle", "--homes", "2", "--epochs", "3", "--seed", "5",
+                 "--jobs", "1", "--wave", "flash-cut"]) == 0
+    captured = capsys.readouterr()
+    assert "Lifecycle (flash-cut, 2 homes x 3 epochs): 6/6 epoch-studies" in captured.out
+    assert "Address surface drift" in captured.out
+    assert "time to transition" in captured.out
+
+
+def test_lifecycle_unknown_wave(capsys):
+    assert main(["lifecycle", "--homes", "1", "--wave", "warp"]) == 2
+    assert "unknown rollout wave" in capsys.readouterr().err
+
+
+def test_lifecycle_unknown_fault(capsys):
+    assert main(["lifecycle", "--homes", "1", "--fault", "solar-flare"]) == 2
+    assert "unknown fault preset" in capsys.readouterr().err
+
+
+def test_lifecycle_no_homes(capsys):
+    assert main(["lifecycle", "--homes", "0"]) == 2
+    assert "nothing to run" in capsys.readouterr().err
+
+
+def test_lifecycle_rejects_negative_seed():
+    with pytest.raises(SystemExit):
+        main(["lifecycle", "--homes", "1", "--seed", "-1"])
+
+
+def test_lifecycle_worker_failure_exits_nonzero(capsys, monkeypatch):
+    import repro.lifecycle.population as population
+
+    def exploding_worker(spec):
+        raise RuntimeError("epoch worker crashed")
+
+    monkeypatch.setattr(population, "run_home_epoch", exploding_worker)
+    assert main(["lifecycle", "--homes", "1", "--epochs", "1", "--jobs", "1"]) == 1
+    captured = capsys.readouterr()
+    assert "home run(s) failed" in captured.err
+    assert "epoch worker crashed" in captured.err
