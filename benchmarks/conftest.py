@@ -124,6 +124,29 @@ def study():
 
 
 @pytest.fixture(scope="session")
+def flow_study():
+    """The same seed-42 study in ``flow`` fidelity, timed under the same gc
+    discipline and calibration bracketing as the packet-mode ``study``
+    fixture, so the two stage timings are directly comparable. The hybrid
+    fidelity gate (``test_bench_flow_fidelity_speedup``) reads both."""
+    gc.freeze()
+    thresholds = gc.get_threshold()
+    gc.set_threshold(thresholds[0], thresholds[1], 1_000_000_000)
+    calibration_before = calibration_seconds()
+    started = time.perf_counter()
+    result = run_full_study(seed=42, fidelity="flow")
+    PIPELINE_TIMINGS["flow_study_seconds"] = time.perf_counter() - started
+    PIPELINE_TIMINGS["flow_calibration_seconds"] = (calibration_before + calibration_seconds()) / 2
+    gc.set_threshold(*thresholds)
+    gc.collect()
+    gc.freeze()
+    PIPELINE_TIMINGS["flow_records_elided"] = sum(
+        len(experiment.flow_records) for experiment in result.experiments.values()
+    )
+    return result
+
+
+@pytest.fixture(scope="session")
 def analysis(study):
     analysis = StudyAnalysis(study)
     started = time.perf_counter()

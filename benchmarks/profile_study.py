@@ -6,7 +6,8 @@ table between two runs to see where the wall-clock moved.
 
 Usage:
     PYTHONPATH=src python benchmarks/profile_study.py [--top 30] [--seed 77]
-        [--config ipv6-only] [--output benchmarks/profile_top30.txt]
+        [--config ipv6-only] [--fidelity flow]
+        [--output benchmarks/profile_top30.txt]
 """
 
 from __future__ import annotations
@@ -18,12 +19,13 @@ import pstats
 from pathlib import Path
 
 from repro.devices import build_inventory
-from repro.stack.config import ALL_CONFIGS
+from repro.stack.config import ALL_CONFIGS, FIDELITY_MODES, with_fidelity
 from repro.testbed import Testbed, run_connectivity_experiment
 
 
-def profile_once(config_name: str, seed: int, top: int) -> str:
+def profile_once(config_name: str, seed: int, top: int, fidelity: str = "packet") -> str:
     config = next(c for c in ALL_CONFIGS if c.name == config_name)
+    config = with_fidelity(config, fidelity)
     profiler = cProfile.Profile()
     profiler.enable()
     testbed = Testbed(seed=seed, profiles=build_inventory())
@@ -36,10 +38,11 @@ def profile_once(config_name: str, seed: int, top: int) -> str:
     frames = testbed.link.frames
     header = (
         f"one-config study profile: config={config_name} seed={seed} "
-        f"devices={len(result.functionality)}\n"
+        f"fidelity={fidelity} devices={len(result.functionality)}\n"
         f"frame cache: encode_count={frames.encode_count} "
         f"decode_count={frames.decode_count} "
-        f"prime_rate={frames.prime_rate:.3f} errors={frames.decode_errors}\n\n"
+        f"prime_rate={frames.prime_rate:.3f} errors={frames.decode_errors}\n"
+        f"flow records elided from the wire: {len(result.flow_records)}\n\n"
     )
     return header + stream.getvalue()
 
@@ -49,10 +52,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--top", type=int, default=30, help="rows of the cumulative table to keep")
     parser.add_argument("--seed", type=int, default=77)
     parser.add_argument("--config", default="ipv6-only", help="connectivity configuration name")
+    parser.add_argument(
+        "--fidelity",
+        default="packet",
+        choices=list(FIDELITY_MODES),
+        help="simulation fidelity for the profiled run",
+    )
     parser.add_argument("--output", type=Path, default=None, help="also write the report to this file")
     args = parser.parse_args(argv)
 
-    report = profile_once(args.config, args.seed, args.top)
+    report = profile_once(args.config, args.seed, args.top, fidelity=args.fidelity)
     print(report)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)

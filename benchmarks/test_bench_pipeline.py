@@ -3,6 +3,7 @@
 import time
 
 from conftest import CALIBRATION_BASELINE_SECONDS, EMIT_ONCE_BASELINE, PIPELINE_TIMINGS, PRE_PR_BASELINE
+from repro.core.analysis import StudyAnalysis
 from repro.core.capture import CaptureIndex
 from repro.devices import build_inventory
 from repro.reports import (
@@ -20,6 +21,43 @@ from repro.reports import (
 )
 from repro.stack.config import IPV6_ONLY
 from repro.testbed import Testbed, run_connectivity_experiment
+
+
+def test_bench_flow_fidelity_speedup(flow_study, study, analysis):
+    """The hybrid-fidelity gate: the flow-level study must beat the emit-once
+    wire path's committed study time by >= 2x (machine-normalized through the
+    same calibration anchor), while rendering byte-identical tables.
+
+    Runs FIRST in the file on purpose: the emit-once baseline was timed as
+    its session's first study, and a study run after another's retained
+    captures pays ~20% extra from heap pressure the calibration workload
+    does not see — so the flow study must be this session's first study too
+    (fixture order in the signature makes ``flow_study`` build before
+    ``study``). Both stage timings land in BENCH_pipeline.json, so every
+    perf PR records the packet-vs-flow column pair alongside the historical
+    baselines.
+    """
+    # Equivalence first — a fast flow path that changes the science is a bug,
+    # not a speedup. Representative tables across the analysis surface:
+    # addressing (t3), DNS (t6), data-plane traffic shares (t9).
+    flow_analysis = StudyAnalysis(flow_study)
+    for render in (render_table3, render_table6, render_table9):
+        assert render(flow_analysis) == render(analysis), (
+            f"flow fidelity changed {render.__name__} output"
+        )
+    assert PIPELINE_TIMINGS["flow_records_elided"] > 0
+
+    flow_factor = PIPELINE_TIMINGS["flow_calibration_seconds"] / EMIT_ONCE_BASELINE["calibration_seconds"]
+    flow_speedup = (EMIT_ONCE_BASELINE["study_seconds"] * flow_factor) / PIPELINE_TIMINGS["flow_study_seconds"]
+    PIPELINE_TIMINGS["study_speedup_vs_emit_once"] = flow_speedup
+    PIPELINE_TIMINGS["flow_vs_packet_study_speedup"] = (
+        PIPELINE_TIMINGS["study_seconds"] / PIPELINE_TIMINGS["flow_study_seconds"]
+    )
+    assert flow_speedup >= 2.0, (
+        f"flow-fidelity study {PIPELINE_TIMINGS['flow_study_seconds']:.1f}s is only "
+        f"{flow_speedup:.2f}x the emit-once baseline "
+        f"({EMIT_ONCE_BASELINE['study_seconds']}s scaled by {flow_factor:.2f})"
+    )
 
 
 def test_bench_capture_parse_rate(benchmark, study, analysis):

@@ -33,7 +33,7 @@ from repro.exposure.analysis import effective_pinholes, headline_addr_kind
 from repro.exposure.wanscan import WanScanner
 from repro.faults.schedule import NO_FAULTS, get_fault
 from repro.net.ip6 import AddressScope
-from repro.stack.config import with_firewall
+from repro.stack.config import with_fidelity, with_firewall
 from repro.testbed.lab import Testbed
 from repro.testbed.study import profiles_by_name, resolve_config
 
@@ -144,6 +144,7 @@ def run_home_susceptibility(spec: "AdversarySpec") -> HomeSusceptibility:
     cannot reach over v6 (NAT44's accidental shield, the paper's baseline).
     """
     config = with_firewall(resolve_config(spec.config_name), spec.firewall)
+    config = with_fidelity(config, getattr(spec, "fidelity", "packet"))
     if not config.ipv6:
         return _immune_home(spec)
 
@@ -157,6 +158,9 @@ def run_home_susceptibility(spec: "AdversarySpec") -> HomeSusceptibility:
         injector = FaultInjector.attach(testbed, get_fault(spec.fault_name))
 
     testbed.router.configure(config)
+    # No capture runs here either (see run_home_exposure): only the enable
+    # bit matters, the accrued records are never read.
+    testbed.flow_path.enabled = config.fidelity == "flow"
     for device in testbed.devices:
         device.prepare(config)
         # One cloud check-in before the census, so the addresses devices

@@ -47,6 +47,7 @@ class AdversarySpec:
     fault_name: str
     device_names: tuple[str, ...]
     settle: float = DEFAULT_SETTLE
+    fidelity: str = "packet"
 
     @property
     def sort_key(self) -> tuple:
@@ -65,6 +66,7 @@ def generate_adversary_specs(
     firewalls: Sequence[str] = FIREWALL_MODES,
     fault_name: str = NO_FAULTS.name,
     settle: float = DEFAULT_SETTLE,
+    fidelity: str = "packet",
 ) -> list[AdversarySpec]:
     """Sample ``homes`` synthetic homes and cross them with firewall modes.
 
@@ -91,6 +93,7 @@ def generate_adversary_specs(
             fault_name=fault_name,
             device_names=home.device_names,
             settle=settle,
+            fidelity=fidelity,
         )
         for home in generate_fleet(homes, seed=seed, scenario=scenario)
         for firewall in firewalls

@@ -26,6 +26,11 @@ Commands:
 ``faults --list-presets`` and ``lifecycle --list-waves`` print the known
 preset/wave names one per line and exit 0 without running anything.
 
+Every simulation command accepts ``--fidelity {packet,flow}``: ``flow``
+advances steady-state data flows as aggregate records (DESIGN.md §13) and
+produces byte-identical analysis output several times faster; ``pcap``
+exports then contain control-plane frames only.
+
 Fleet-style commands exit 2 when no work was generated (e.g. ``--homes 0``)
 or the arguments are invalid (negative seed, duplicate spec names, unknown
 scenario/preset), and 1 when any home worker failed, after printing
@@ -45,6 +50,18 @@ FIGURE_CHOICES = ["2", "3", "4", "5"]
 # import simulation modules before a subcommand actually needs them).
 _DEFAULT_FAULT_CONFIGS = ("dual-stack", "ipv6-only")
 _DEFAULT_FAULT_NAMES = ("dns-blackout", "uplink-flap")
+
+# Mirrors repro.stack.config.FIDELITY_MODES (same literal-import rule).
+_FIDELITY_MODES = ("packet", "flow")
+
+
+def _add_fidelity(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--fidelity",
+        default="packet",
+        choices=list(_FIDELITY_MODES),
+        help="simulation fidelity: per-packet, or flow-level data plane (same analysis output)",
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -92,14 +109,17 @@ def _build_parser() -> argparse.ArgumentParser:
     study = sub.add_parser("study", help="run everything, print all tables and figures")
     study.add_argument("--seed", type=int, default=42)
     study.add_argument("--no-scan", action="store_true", help="skip the port scans")
+    _add_fidelity(study)
 
     tables = sub.add_parser("tables", help="run the campaign, print selected tables")
     tables.add_argument("numbers", nargs="+", choices=TABLE_CHOICES, metavar="N")
     tables.add_argument("--seed", type=int, default=42)
+    _add_fidelity(tables)
 
     pcap = sub.add_parser("pcap", help="run the campaign, export pcap files")
     pcap.add_argument("directory")
     pcap.add_argument("--seed", type=int, default=42)
+    _add_fidelity(pcap)
 
     sub.add_parser("devices", help="print the 93-device inventory")
 
@@ -113,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rollout scenario name (e.g. baseline, flip25, flip50, ipv6-only, legacy, flipNN)",
     )
     fleet.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
+    _add_fidelity(fleet)
 
     exposure = sub.add_parser("exposure", help="WAN-scan a fleet of homes, print the population attack surface")
     exposure.add_argument("--homes", type=_non_negative_int, default=8, help="number of synthetic homes")
@@ -132,6 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="router firewall mode(s) to scan each home under",
     )
     exposure.add_argument("--timeout", type=float, default=None, help="per-scan wall-clock budget in seconds")
+    _add_fidelity(exposure)
 
     faults = sub.add_parser("faults", help="inject network impairments into a fleet, print the degradation grid")
     faults.add_argument("--homes", type=_non_negative_int, default=4, help="number of synthetic homes")
@@ -162,6 +184,7 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--list-presets", action="store_true", help="print the known fault preset names and exit"
     )
+    _add_fidelity(faults)
 
     lifecycle = sub.add_parser(
         "lifecycle", help="advance a fleet through simulated months, print per-epoch trajectories"
@@ -198,6 +221,7 @@ def _build_parser() -> argparse.ArgumentParser:
     lifecycle.add_argument(
         "--list-waves", action="store_true", help="print the known rollout wave names and exit"
     )
+    _add_fidelity(lifecycle)
 
     adversary = sub.add_parser(
         "adversary", help="run a scanning campaign + worm outbreak against a fleet, print time-to-compromise"
@@ -245,6 +269,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="leaked addresses on the replay list beyond this population (hitlist strategy only)",
     )
     adversary.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
+    _add_fidelity(adversary)
     return parser
 
 
@@ -266,13 +291,13 @@ def _fleet_exit(fleet) -> int:
     return 1
 
 
-def _run_study(seed: int, with_scan: bool = True):
+def _run_study(seed: int, with_scan: bool = True, fidelity: str = "packet"):
     from repro.core.analysis import StudyAnalysis
     from repro.testbed.study import run_full_study
 
     start = time.time()
-    print(f"running the full study (seed={seed}) ...", file=sys.stderr)
-    study = run_full_study(seed=seed, with_port_scan=with_scan)
+    print(f"running the full study (seed={seed}, fidelity={fidelity}) ...", file=sys.stderr)
+    study = run_full_study(seed=seed, with_port_scan=with_scan, fidelity=fidelity)
     print(f"done in {time.time() - start:.0f}s ({study.total_frames()} frames)", file=sys.stderr)
     return study, StudyAnalysis(study)
 
@@ -313,7 +338,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "study":
         from repro import reports
 
-        study, analysis = _run_study(args.seed, with_scan=not args.no_scan)
+        study, analysis = _run_study(args.seed, with_scan=not args.no_scan, fidelity=args.fidelity)
         _print_tables(analysis, TABLE_CHOICES)
         for renderer in (
             reports.render_figure2,
@@ -326,7 +351,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "tables":
         # No table renderer consumes port-scan results, so skip the scan.
-        _, analysis = _run_study(args.seed, with_scan=False)
+        _, analysis = _run_study(args.seed, with_scan=False, fidelity=args.fidelity)
         _print_tables(analysis, args.numbers)
         return 0
 
@@ -339,7 +364,7 @@ def main(argv: list[str] | None = None) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
-        specs = generate_fleet(args.homes, seed=args.seed, scenario=scenario)
+        specs = generate_fleet(args.homes, seed=args.seed, scenario=scenario, fidelity=args.fidelity)
         if not specs:
             return _no_work("--homes 0 generates an empty fleet")
         print(
@@ -366,7 +391,11 @@ def main(argv: list[str] | None = None) -> int:
         if code is not None:
             return code
         specs = generate_exposure_specs(
-            args.homes, seed=args.seed, config_name=args.config, firewalls=tuple(args.firewall)
+            args.homes,
+            seed=args.seed,
+            config_name=args.config,
+            firewalls=tuple(args.firewall),
+            fidelity=args.fidelity,
         )
         if not specs:
             return _no_work("--homes 0 generates an empty scan fleet")
@@ -410,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 config_names=tuple(args.configs),
                 fault_names=tuple(args.faults),
+                fidelity=args.fidelity,
             )
         except (KeyError, ValueError) as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -462,6 +492,7 @@ def main(argv: list[str] | None = None) -> int:
                 fault_name=args.fault,
                 exposure=args.exposure,
                 rotation=not args.no_rotation,
+                fidelity=args.fidelity,
             )
             timelines = build_timelines(args.homes, seed=args.seed, params=params)
         except (KeyError, ValueError) as exc:
@@ -519,6 +550,7 @@ def main(argv: list[str] | None = None) -> int:
                 scenario=scenario,
                 firewalls=tuple(args.firewall),
                 fault_name=args.fault,
+                fidelity=args.fidelity,
             )
         except (KeyError, ValueError) as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -546,7 +578,7 @@ def main(argv: list[str] | None = None) -> int:
         return _fleet_exit(fleet)
 
     if args.command == "pcap":
-        study, _ = _run_study(args.seed, with_scan=False)
+        study, _ = _run_study(args.seed, with_scan=False, fidelity=args.fidelity)
         for path in study.export_pcaps(args.directory):
             print(path)
         return 0

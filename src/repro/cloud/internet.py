@@ -126,6 +126,18 @@ class Internet:
             self._endpoints[address] = endpoint
         return endpoint
 
+    def tcp_endpoint(self, address) -> Optional[Endpoint]:
+        """The live cloud endpoint at ``address``, for flow-level shortcuts.
+
+        Returns None for unknown or unreachable destinations and for
+        caller-attached vantage objects (scanner endpoints) that are not
+        full :class:`Endpoint`\\ s — those must keep exchanging packets.
+        """
+        endpoint = self._endpoints.get(address)
+        if isinstance(endpoint, Endpoint) and endpoint.reachable:
+            return endpoint
+        return None
+
     def attach_endpoint(self, address, endpoint) -> None:
         """Install a caller-provided endpoint object at ``address``.
 

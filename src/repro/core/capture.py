@@ -143,6 +143,7 @@ class CaptureIndex:
         records: Iterable[PcapRecord],
         mac_table: dict[MacAddress, str],
         *,
+        flow_records: Iterable = (),
         lan_v6=DEFAULT_LAN_V6,
         lan_v4=DEFAULT_LAN_V4,
     ):
@@ -158,10 +159,14 @@ class CaptureIndex:
         self.ntp_v6_devices: set[str] = set()
         self._flows: dict[tuple, Flow] = {}
         self.frame_count = 0
+        self.flow_record_count = 0
         self.decode_errors = 0
 
-        for record in records:
-            self._ingest(record)
+        if flow_records:
+            self._ingest_merged(records, flow_records)
+        else:
+            for record in records:
+                self._ingest(record)
 
         self.tcp_flows = [f for f in self._flows.values() if f.proto == "tcp"]
         self.udp_flows = [f for f in self._flows.values() if f.proto == "udp"]
@@ -188,6 +193,74 @@ class CaptureIndex:
             self._ingest_v6(record.timestamp, frame)
         elif frame.ethertype == ETHERTYPE_IPV4 and isinstance(frame.payload, IPv4):
             self._ingest_v4(record.timestamp, frame)
+
+    # -- flow-fidelity records ---------------------------------------------------
+
+    def _ingest_merged(self, records: Iterable[PcapRecord], flow_records: Iterable) -> None:
+        """Interleave packet records and flow-path records by timestamp.
+
+        Flow records land in the same :class:`Flow` objects the packet path
+        would have produced, so analyses are fidelity-invariant. Packets sort
+        first on timestamp ties: the fast path emits its aggregate record at
+        completion time, after any frame stamped at the same instant.
+        """
+        flows = list(flow_records)
+        i = 0
+        for record in records:
+            while i < len(flows) and flows[i].timestamp < record.timestamp:
+                self._ingest_flow_record(flows[i])
+                i += 1
+            self._ingest(record)
+        for rec in flows[i:]:
+            self._ingest_flow_record(rec)
+
+    def _ingest_flow_record(self, rec) -> None:
+        """Index one aggregate data exchange from the flow-level fast path.
+
+        Mirrors the per-frame bookkeeping the elided packets would have
+        triggered: address-use observations, the NTP-over-v6 signal, and the
+        byte counters/SNI on the attributed :class:`Flow`.
+        """
+        self.flow_record_count += 1
+        ts = rec.timestamp
+        sender = self._device_for(rec.src_mac)
+        if sender is None:
+            return
+        if rec.family == 6 and rec.src_ip != UNSPECIFIED:
+            scope = classify_address(rec.src_ip)
+            if scope not in (AddressScope.MULTICAST, AddressScope.UNSPECIFIED):
+                obs = self._address_obs(sender, rec.src_ip, ts)
+                obs.used_at_all = True
+        if rec.proto == "udp":
+            if rec.dport in NON_DATA_UDP_PORTS or rec.sport in NON_DATA_UDP_PORTS:
+                return
+            if rec.family == 6 and rec.dport == 123:
+                self.ntp_v6_devices.add(sender)
+        key = (sender, rec.proto, rec.family, rec.src_ip, rec.dst_ip, rec.sport, rec.dport)
+        reverse = (sender, rec.proto, rec.family, rec.dst_ip, rec.src_ip, rec.dport, rec.sport)
+        flow = self._flows.get(key) or self._flows.get(reverse)
+        if flow is None:
+            flow = Flow(
+                sender, rec.proto, rec.family, rec.src_ip, rec.dst_ip, rec.sport, rec.dport,
+                is_local=self._is_local_dst(rec.dst_ip, rec.family), first_seen=ts,
+            )
+            self._flows[key] = flow
+        flow.bytes_out += rec.bytes_out
+        flow.bytes_in += rec.bytes_in
+        if (
+            rec.proto == "tcp"
+            and rec.bytes_out
+            and flow.sni is None
+            and rec.tls_hello is not None
+            and has_tcp_decoder(rec.sport, rec.dport)
+        ):
+            try:
+                flow.sni = TLSClientHello.decode(rec.tls_hello).server_name
+            except DecodeError:
+                pass
+        if rec.family == 6 and rec.bytes_out and not flow.is_local:
+            obs = self._address_obs(sender, rec.src_ip, ts)
+            obs.used_for_data = True
 
     # -- IPv6 -------------------------------------------------------------------
 

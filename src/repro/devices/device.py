@@ -303,8 +303,12 @@ class IoTDevice:
         self.stack.tcp_request(address, APP_PORT, requests, on_complete=on_complete, on_fail=on_fail)
 
     def _ntp_v6(self) -> None:
-        if self._has_any_v6():
-            self.stack.udp_send(self.internet.ntp_v6, 123, NTP(), sport=123)
+        if not self._has_any_v6():
+            return
+        flow_path = self.stack.flow_path
+        if flow_path is not None and flow_path.try_ntp(self.stack, self.internet.ntp_v6):
+            return
+        self.stack.udp_send(self.internet.ntp_v6, 123, NTP(), sport=123)
 
     def _lease_probe(self) -> None:
         """The four devices that *use* their stateful DHCPv6 lease do so as a
@@ -329,7 +333,11 @@ class IoTDevice:
         if payload is None:
             payload = Raw(b"\x05\x40" + self.profile.slug.encode()[:24].ljust(24, b"\x00"))
             self._matter_payload = payload
-        self.stack.udp_send("ff02::1", MATTER_PORT, payload, sport=MATTER_PORT)
+        flow_path = self.stack.flow_path
+        if flow_path is None or not flow_path.try_local_multicast(
+            self.stack, "ff02::1", MATTER_PORT, len(payload.data)
+        ):
+            self.stack.udp_send("ff02::1", MATTER_PORT, payload, sport=MATTER_PORT)
         self.sim.schedule(300.0 + self.rng.uniform(0, 60), self._local_traffic)
 
     # ------------------------------------------------------- functionality test

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING
 
 from repro.devices.profile import Category, DeviceProfile
 from repro.exposure.wanscan import WanScanner, WanScanResult
-from repro.stack.config import with_firewall
+from repro.stack.config import with_fidelity, with_firewall
 from repro.testbed.lab import Testbed
 from repro.testbed.study import profiles_by_name, resolve_config
 
@@ -140,12 +140,16 @@ def run_home_exposure(spec: "ExposureSpec") -> HomeExposure:
     attack surface to measure (NAT44 is the paper's baseline, not a finding).
     """
     config = with_firewall(resolve_config(spec.config_name), spec.firewall)
+    config = with_fidelity(config, getattr(spec, "fidelity", "packet"))
     if not config.ipv6:
         raise ValueError(f"config {config.name!r} has no IPv6; nothing to expose")
 
     profiles = profiles_by_name(spec.device_names)
     testbed = Testbed(seed=spec.sim_seed, profiles=profiles, include_controls=False)
     testbed.router.configure(config)
+    # No capture runs here, so the fast path only needs the enable bit; the
+    # records it accrues are never read (the scanner probes from the WAN).
+    testbed.flow_path.enabled = config.fidelity == "flow"
     for device in testbed.devices:
         device.prepare(config)
     testbed.sim.run(spec.settle)

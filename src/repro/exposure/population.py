@@ -32,6 +32,7 @@ class ExposureSpec:
     firewall: str
     device_names: tuple[str, ...]
     settle: float = DEFAULT_SETTLE
+    fidelity: str = "packet"
 
     @property
     def sort_key(self) -> tuple:
@@ -49,6 +50,7 @@ def generate_exposure_specs(
     config_name: str = "dual-stack",
     firewalls: Sequence[str] = FIREWALL_MODES,
     settle: float = DEFAULT_SETTLE,
+    fidelity: str = "packet",
 ) -> list[ExposureSpec]:
     """Sample ``homes`` synthetic homes and cross them with firewall modes.
 
@@ -73,6 +75,7 @@ def generate_exposure_specs(
             firewall=firewall,
             device_names=home.device_names,
             settle=settle,
+            fidelity=fidelity,
         )
         for home in generate_fleet(homes, seed=seed, scenario=scenario)
         for firewall in firewalls

@@ -154,8 +154,9 @@ def run_home_faults(spec: "FaultSpec", extra_schedules: tuple = ()) -> HomeFault
     ``extra_schedules`` accepts ad-hoc :class:`FaultSchedule` objects (keyed
     by their own name) on top of the named presets in ``spec.fault_names``.
     """
+    fidelity = getattr(spec, "fidelity", "packet")
     baseline_study = run_home_study(
-        spec.sim_seed, spec.config_name, spec.device_names, checkins=spec.checkins
+        spec.sim_seed, spec.config_name, spec.device_names, checkins=spec.checkins, fidelity=fidelity
     )
     baseline = observe_study(baseline_study, spec.config_name)
     del baseline_study  # the captures are large; only the observations matter
@@ -172,6 +173,7 @@ def run_home_faults(spec: "FaultSpec", extra_schedules: tuple = ()) -> HomeFault
             spec.device_names,
             checkins=spec.checkins,
             fault_schedule=schedule,
+            fidelity=fidelity,
         )
         observed = observe_study(study, spec.config_name, after=schedule.last_end)
         injected.append((fault_name, study.testbed.faults.counters.total))

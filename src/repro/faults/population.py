@@ -38,6 +38,7 @@ class FaultSpec:
     device_names: tuple[str, ...]
     fault_names: tuple[str, ...]
     checkins: int = 2
+    fidelity: str = "packet"
 
     @property
     def sort_key(self) -> tuple:
@@ -55,6 +56,7 @@ def generate_fault_specs(
     config_names: Sequence[str] = DEFAULT_CONFIGS,
     fault_names: Sequence[str] = DEFAULT_FAULTS,
     checkins: int = 2,
+    fidelity: str = "packet",
 ) -> list[FaultSpec]:
     """Sample ``homes`` synthetic homes and cross them with configs x faults.
 
@@ -79,6 +81,7 @@ def generate_fault_specs(
             device_names=home.device_names,
             fault_names=tuple(fault_names),
             checkins=checkins,
+            fidelity=fidelity,
         )
         for home in population
         for config in configs

@@ -79,6 +79,14 @@ class StreamStats:
     def mean(self) -> Optional[float]:
         return float(self.total / self.count) if self.count else None
 
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "StreamStats(empty)"
+        return (
+            f"StreamStats(count={self.count}, sum={self.sum:g}, "
+            f"min={self.minimum:g}, max={self.maximum:g})"
+        )
+
 
 @dataclass(frozen=True)
 class QuantileSketch:
@@ -175,6 +183,15 @@ class QuantileSketch:
             and self.zero_count == other.zero_count
             and self.buckets == other.buckets
             and self.stats == other.stats
+        )
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return f"QuantileSketch(alpha={self.alpha:g}, empty)"
+        return (
+            f"QuantileSketch(alpha={self.alpha:g}, count={self.count}, "
+            f"zeros={self.zero_count}, buckets={len(self.buckets)}, "
+            f"median={self.median:g})"
         )
 
 

@@ -102,6 +102,7 @@ def simulate_home(spec: HomeSpec) -> HomeSummary:
         spec.config_name,
         spec.device_names,
         checkins=spec.checkins,
+        fidelity=getattr(spec, "fidelity", "packet"),
     )
     return summarize_home(study, spec)
 

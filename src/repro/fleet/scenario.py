@@ -74,6 +74,7 @@ class HomeSpec:
     config_name: str
     device_names: tuple[str, ...]
     checkins: int = 2
+    fidelity: str = "packet"
 
     @property
     def size(self) -> int:
@@ -204,7 +205,7 @@ def _weighted_pick(rng: random.Random, pool: list, manufacturers: set) -> object
     return rng.choices(pool, weights=weights)[0]
 
 
-def generate_home(index: int, seed: int, scenario: RolloutScenario) -> HomeSpec:
+def generate_home(index: int, seed: int, scenario: RolloutScenario, *, fidelity: str = "packet") -> HomeSpec:
     """Sample one home; fully determined by ``(seed, scenario.name, index)``.
 
     Both RNG streams deliberately exclude the scenario name: the portfolio
@@ -243,11 +244,17 @@ def generate_home(index: int, seed: int, scenario: RolloutScenario) -> HomeSpec:
         sim_seed=rng.getrandbits(32),
         config_name=scenario.draw_config(config_rng),
         device_names=tuple(profile.name for profile in picked),
+        fidelity=fidelity,
     )
 
 
-def generate_fleet(homes: int, *, seed: int, scenario: RolloutScenario) -> list[HomeSpec]:
-    """Generate ``homes`` specs; a prefix-stable function of ``seed``."""
+def generate_fleet(
+    homes: int, *, seed: int, scenario: RolloutScenario, fidelity: str = "packet"
+) -> list[HomeSpec]:
+    """Generate ``homes`` specs; a prefix-stable function of ``seed``.
+
+    ``fidelity`` rides along on every spec untouched by the RNG streams, so
+    packet and flow fleets describe the same home population."""
     if homes < 0:
         raise ValueError("homes must be >= 0")
-    return [generate_home(index, seed, scenario) for index in range(homes)]
+    return [generate_home(index, seed, scenario, fidelity=fidelity) for index in range(homes)]

@@ -112,6 +112,7 @@ def run_home_epoch(spec: EpochSpec) -> EpochSummary:
         checkins=spec.checkins,
         fault_schedule=schedule,
         profiles=profiles,
+        fidelity=getattr(spec, "fidelity", "packet"),
     )
     result = study.experiment(config.name)
 

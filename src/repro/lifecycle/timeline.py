@@ -56,6 +56,7 @@ class LifecycleParams:
     checkins: int = 2
     min_devices: int = 3
     max_devices: int = 8
+    fidelity: str = "packet"     # simulation fidelity for every epoch run
 
     def __post_init__(self):
         if self.epochs < 1:
@@ -84,6 +85,7 @@ class EpochSpec:
     exposure: bool = False
     rotation: bool = True
     checkins: int = 2
+    fidelity: str = "packet"
 
     @property
     def sort_key(self) -> tuple:
@@ -182,6 +184,7 @@ def build_timeline(
                 exposure=params.exposure,
                 rotation=params.rotation,
                 checkins=params.checkins,
+                fidelity=params.fidelity,
             )
         )
     return HomeTimeline(

@@ -29,6 +29,10 @@ class NetworkConfig:
     stateless_dhcpv6: bool
     stateful_dhcpv6: bool
     firewall: str = "open"
+    # Simulation fidelity (repro.stack.flowpath): "packet" runs every frame
+    # as an event; "flow" advances steady-state data flows as aggregate flow
+    # records while all control-plane traffic stays packet-level.
+    fidelity: str = "packet"
 
     @property
     def ipv6(self) -> bool:
@@ -46,6 +50,17 @@ def with_firewall(config: NetworkConfig, mode: str) -> NetworkConfig:
     if mode not in FIREWALL_MODES:
         raise ValueError(f"unknown firewall mode {mode!r} (known: {', '.join(FIREWALL_MODES)})")
     return replace(config, firewall=mode)
+
+
+# Simulation fidelity modes: how the testbed advances steady-state traffic.
+FIDELITY_MODES = ("packet", "flow")
+
+
+def with_fidelity(config: NetworkConfig, mode: str) -> NetworkConfig:
+    """Cross a Table-2 configuration with a simulation fidelity mode."""
+    if mode not in FIDELITY_MODES:
+        raise ValueError(f"unknown fidelity mode {mode!r} (known: {', '.join(FIDELITY_MODES)})")
+    return replace(config, fidelity=mode)
 
 
 # The six connectivity experiments of Table 2.

@@ -149,6 +149,18 @@ class FirewallV6:
             self._flows[key] = self._clock()
             self._gc()
 
+    def note_flow(self, proto: int, lan_ip, lan_port: int, remote_ip, remote_port: int) -> None:
+        """Record one flow-level data exchange as live flow state.
+
+        The conntrack-parity call for exchanges the hybrid-fidelity fast
+        path (:mod:`repro.stack.flowpath`) advances without frames: the
+        flow table ends up in the same state the per-segment refreshes
+        would have left it in."""
+        if not self.stateful:
+            return
+        self._flows[self._key(proto, lan_ip, lan_port, remote_ip, remote_port)] = self._clock()
+        self._gc()
+
     def permits_inbound(self, packet: IPv6) -> bool:
         """Decide one unsolicited-or-not WAN->LAN packet; counts the verdict."""
         if not self.stateful:

@@ -120,6 +120,10 @@ class StackMetrics:
 class HostStack(Node):
     """A simulated host attached to the testbed LAN."""
 
+    # Hybrid-fidelity hook (repro.stack.flowpath): set by the lab assembly so
+    # device behaviours can offer steady-state sends to the flow-level path.
+    flow_path = None
+
     def __init__(self, sim, name: str, mac: MacAddress, link, config: Optional[StackConfig] = None):
         super().__init__(sim, name)
         self.mac = MacAddress(mac)
@@ -526,7 +530,7 @@ class HostStack(Node):
             elif payload.sport == 53 and isinstance(inner, DNS):
                 self._handle_dns_response(inner)
             else:
-                self._rx_udp(packet.src, payload, family=4)
+                self._rx_udp(packet.src, payload, family=4, broadcast=not mine)
         elif isinstance(payload, TCP) and mine:
             if self.tcp_monitor is not None and self.tcp_monitor(packet.dst, packet.src, payload, 4):
                 return
@@ -566,7 +570,7 @@ class HostStack(Node):
             elif payload.sport == 53 and isinstance(inner, DNS):
                 self._handle_dns_response(inner)
             else:
-                self._rx_udp(packet.src, payload, family=6)
+                self._rx_udp(packet.src, payload, family=6, broadcast=record is None)
         elif isinstance(payload, TCP) and record is not None and not record.tentative:
             if self.tcp_monitor is not None and self.tcp_monitor(dst, packet.src, payload, 6):
                 return
@@ -628,10 +632,14 @@ class HostStack(Node):
             reply = ICMPv6.echo_reply(message.identifier, message.sequence, message.data)
             self.send_ipv6(packet.src, 58, reply, src=source, mark_used=False)
 
-    def _rx_udp(self, src_ip, datagram: UDP, family: int) -> None:
+    def _rx_udp(self, src_ip, datagram: UDP, family: int, *, broadcast: bool = False) -> None:
         handler = self._udp_handlers.get(datagram.dport)
         if handler is not None:
             handler(src_ip, datagram.sport, datagram.payload)
+            return
+        if broadcast:
+            # RFC 1122 §3.2.2 / RFC 4443 §2.4: never answer a datagram sent
+            # to a broadcast or multicast address with an ICMP error.
             return
         open_ports = self.config.open_udp_ports_v6 if family == 6 else self.config.open_udp_ports_v4
         if datagram.dport in open_ports:

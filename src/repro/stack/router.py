@@ -272,6 +272,13 @@ class Router(Node):
     def _nat_key(self, proto: int, src, sport: int) -> tuple:
         return (proto, src, sport)
 
+    def nat_public_port(self, proto: int, src, sport: int) -> Optional[int]:
+        """The public port of an established outbound NAT44 mapping (or None).
+
+        The flow-level fast path uses this to locate the server-side TCP
+        state for a NATted connection without replaying data segments."""
+        return self._nat_out.get(self._nat_key(proto, src, sport))
+
     def _nat44_outbound(self, packet: IPv4) -> None:
         payload = packet.payload
         if isinstance(payload, UDP):

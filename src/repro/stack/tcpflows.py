@@ -93,6 +93,9 @@ class TcpConnection:
             self.ack = (segment.seq + 1) & 0xFFFFFFFF
             self._send(FLAG_ACK)
             self.state = "ESTABLISHED"
+            flow_path = self.engine.flow_path
+            if flow_path is not None and flow_path.try_tcp(self):
+                return
             self._next_request()
             return
         payload = segment.payload_bytes
@@ -130,6 +133,13 @@ class TcpEngine:
     timeouts to the simulator.
     """
 
+    # Hybrid-fidelity hook (repro.stack.flowpath): when set, ESTABLISHED
+    # client connections offer their payload exchange to the flow-level fast
+    # path before sending any data segment. ``flow_mac`` attributes emitted
+    # flow records to the owning host for capture indexing.
+    flow_path = None
+    flow_mac = None
+
     def __init__(self, send: SendFn, schedule, rng):
         self.send = send
         self.schedule = schedule
@@ -137,6 +147,10 @@ class TcpEngine:
         self.listeners: dict[int, Callable[[bytes], bytes]] = {}
         self._clients: dict[ConnKey, TcpConnection] = {}
         self._server_conns: dict[ConnKey, _ServerConn] = {}
+
+    def server_conn(self, key: ConnKey) -> Optional[_ServerConn]:
+        """The live server-side connection state for ``key`` (or None)."""
+        return self._server_conns.get(key)
 
     # -- server role ----------------------------------------------------------
 

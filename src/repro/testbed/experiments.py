@@ -31,6 +31,9 @@ class ExperimentResult:
     functionality: dict[str, bool] = field(default_factory=dict)
     started_at: float = 0.0
     finished_at: float = 0.0
+    # Aggregate data exchanges emitted by the flow-level fast path (empty in
+    # packet fidelity); CaptureIndex merges them with the frame records.
+    flow_records: list = field(default_factory=list)
 
     @property
     def name(self) -> str:
@@ -59,6 +62,11 @@ def run_connectivity_experiment(
     records = testbed.start_capture()
     result.records = records
 
+    flow_path = getattr(testbed, "flow_path", None)
+    if flow_path is not None:
+        flow_path.enabled = config.fidelity == "flow"
+        result.flow_records = flow_path.begin()
+
     for device in testbed.everyone:
         device.prepare(config)
 
@@ -77,6 +85,9 @@ def run_connectivity_experiment(
 
     sim.run(duration)
     testbed.stop_capture()
+    if flow_path is not None:
+        flow_path.enabled = False
+        flow_path.records = []  # detach the live list from the result
     result.finished_at = sim.now
     # Devices that never answered the functionality probe are not functional.
     for device in testbed.devices:

@@ -12,6 +12,7 @@ from repro.net.mac import MacAddress
 from repro.net.pcap import PcapRecord
 from repro.sim import EthernetLink, Simulator
 from repro.stack import Router
+from repro.stack.flowpath import FlowFastPath
 
 
 class Testbed:
@@ -46,6 +47,11 @@ class Testbed:
                 for profile in control_phones()
             ]
         self.internet.materialize_registry()
+        # Hybrid-fidelity switchboard: wired into every host but disabled
+        # until an experiment with flow fidelity flips it on.
+        self.flow_path = FlowFastPath(self.sim, self.link, self.router, self.internet)
+        for host in self.devices + self.controls:
+            self.flow_path.attach(host.stack)
 
     # -- capture taps ---------------------------------------------------------
 

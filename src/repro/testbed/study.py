@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 from repro.net.pcap import PcapWriter
-from repro.stack.config import ALL_CONFIGS, DUAL_STACK, NetworkConfig
+from repro.stack.config import ALL_CONFIGS, DUAL_STACK, NetworkConfig, with_fidelity
 from repro.testbed.activedns import AaaaProbe, active_dns_queries
 from repro.testbed.experiments import ExperimentResult, run_connectivity_experiment
 from repro.testbed.lab import Testbed
@@ -53,7 +53,9 @@ class Study:
             mac_table = self.mac_table
             for name, result in self.experiments.items():
                 if name not in cache:
-                    cache[name] = CaptureIndex(result.records, mac_table)
+                    cache[name] = CaptureIndex(
+                        result.records, mac_table, flow_records=getattr(result, "flow_records", ())
+                    )
         return cache
 
     def export_pcaps(self, directory) -> list[Path]:
@@ -93,11 +95,19 @@ def run_full_study(
     with_port_scan: bool = True,
     with_active_dns: bool = True,
     testbed: Optional[Testbed] = None,
+    fidelity: Optional[str] = None,
 ) -> Study:
-    """Run the complete measurement campaign."""
+    """Run the complete measurement campaign.
+
+    ``fidelity``, when given, overrides every experiment's simulation
+    fidelity (``packet`` or ``flow``, see DESIGN.md §13); the analysis
+    output is byte-identical in both modes.
+    """
     testbed = testbed or Testbed(seed=seed)
     study = Study(testbed=testbed)
     for config in configs or ALL_CONFIGS:
+        if fidelity is not None:
+            config = with_fidelity(config, fidelity)
         study.experiments[config.name] = run_connectivity_experiment(testbed, config, checkins=checkins)
 
     if with_port_scan:
@@ -148,6 +158,7 @@ def run_home_study(
     profiles=None,
     progress: Optional[Callable[[float, int], None]] = None,
     progress_interval: float = 100.0,
+    fidelity: Optional[str] = None,
 ) -> Study:
     """Run one synthetic *home*: a device subset under a single network config.
 
@@ -167,6 +178,8 @@ def run_home_study(
     enabling progress does not perturb the simulation.
     """
     config = resolve_config(config)
+    if fidelity is not None:
+        config = with_fidelity(config, fidelity)
     if profiles is None:
         profiles = profiles_by_name(device_names)
     testbed = Testbed(seed=seed, profiles=profiles, include_controls=False)

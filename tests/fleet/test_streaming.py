@@ -94,3 +94,31 @@ def test_sketch_zero_values_exact():
     assert sketch.median == 0.0
     assert sketch.quantile(1.0) == 5.0
     assert sketch.zero_count == 3
+
+
+@given(samples)
+def test_streamstats_empty_is_merge_identity(xs):
+    stats = StreamStats.of(xs)
+    assert stats.merge(StreamStats()) == stats
+    assert StreamStats().merge(stats) == stats
+
+
+@given(samples)
+@settings(max_examples=60)
+def test_sketch_empty_is_merge_identity(xs):
+    sketch = QuantileSketch.of(xs)
+    assert sketch.merge(QuantileSketch()) == sketch
+    assert QuantileSketch().merge(sketch) == sketch
+
+
+def test_streamstats_repr():
+    assert repr(StreamStats()) == "StreamStats(empty)"
+    stats = StreamStats.of([2.0, 4.0])
+    assert repr(stats) == "StreamStats(count=2, sum=6, min=2, max=4)"
+
+
+def test_sketch_repr():
+    assert repr(QuantileSketch(alpha=0.05)) == "QuantileSketch(alpha=0.05, empty)"
+    text = repr(QuantileSketch.of([0.0, 8.0, 8.0]))
+    assert text.startswith("QuantileSketch(alpha=0.01, count=3, zeros=1, buckets=1,")
+    assert "median=" in text

@@ -203,3 +203,27 @@ def test_lifecycle_worker_failure_exits_nonzero(capsys, monkeypatch):
     captured = capsys.readouterr()
     assert "home run(s) failed" in captured.err
     assert "epoch worker crashed" in captured.err
+
+
+FIDELITY_COMMANDS = ("study", "tables", "pcap", "fleet", "exposure", "faults", "lifecycle", "adversary")
+
+
+@pytest.mark.parametrize("command", FIDELITY_COMMANDS)
+def test_fidelity_rejects_unknown_mode(command, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--fidelity", "frame"])
+    assert excinfo.value.code == 2
+    assert "--fidelity" in capsys.readouterr().err
+
+
+def test_fleet_flow_fidelity_runs(capsys):
+    assert main(["fleet", "--homes", "1", "--jobs", "1", "--seed", "7", "--fidelity", "flow"]) == 0
+    assert "Fleet summary: 1/1 homes simulated" in capsys.readouterr().out
+
+
+def test_fleet_fidelity_output_identical(capsys):
+    args = ["fleet", "--homes", "2", "--jobs", "1", "--seed", "9", "--scenario", "flip50"]
+    assert main(args) == 0
+    packet_out = capsys.readouterr().out
+    assert main(args + ["--fidelity", "flow"]) == 0
+    assert capsys.readouterr().out == packet_out

@@ -1,0 +1,172 @@
+"""Equivalence tests for the hybrid-fidelity flow fast path.
+
+The contract (DESIGN.md §13): a ``flow``-fidelity run must produce the same
+*analysis* output as the ``packet``-fidelity run bit for bit — same flows,
+same byte totals, same address-usage observations, same DNS/NDP/DHCP event
+streams — while eliding the steady-state data-plane frames from the wire.
+Fault windows overlapping a flow's lifetime force that flow back to packet
+fidelity, so faulted runs stay equivalent too.
+"""
+
+import pytest
+
+from repro.core.capture import CaptureIndex
+from repro.devices import build_inventory
+from repro.faults.inject import FaultInjector
+from repro.faults.schedule import FaultSchedule, FaultWindow
+from repro.stack.config import ALL_CONFIGS, DUAL_STACK, with_fidelity
+from repro.testbed import Testbed, run_connectivity_experiment
+from repro.testbed.study import run_full_study
+
+SUBSET = [
+    "Samsung Fridge",
+    "Google Home Mini",
+    "Apple TV",
+    "IKEA Gateway",
+    "Echo Dot 3rd gen",
+    "Wemo Plug",
+    "Philips Hue Hub",
+]
+
+
+def _profiles():
+    return [p for p in build_inventory() if p.name in SUBSET]
+
+
+def _study(fidelity):
+    testbed = Testbed(seed=5, profiles=_profiles())
+    return run_full_study(seed=5, testbed=testbed, fidelity=fidelity)
+
+
+@pytest.fixture(scope="module")
+def packet_study():
+    return _study("packet")
+
+
+@pytest.fixture(scope="module")
+def flow_study():
+    return _study("flow")
+
+
+def _snapshot(index: CaptureIndex) -> dict:
+    """Everything the analysis layer reads from an index, canonically ordered."""
+    return {
+        "flows": sorted(
+            (
+                flow.device,
+                flow.proto,
+                flow.family,
+                str(flow.local_ip),
+                str(flow.remote_ip),
+                flow.local_port,
+                flow.remote_port,
+                flow.bytes_out,
+                flow.bytes_in,
+                flow.sni,
+                flow.is_local,
+                flow.is_data,
+            )
+            for flow in index.flows
+        ),
+        "addresses": {
+            device: {
+                str(addr): (obs.used_at_all, obs.used_for_data)
+                for addr, obs in obs_map.items()
+            }
+            for device, obs_map in index.addresses.items()
+        },
+        "ntp_v6_devices": sorted(index.ntp_v6_devices),
+        "dns_queries": len(index.dns_queries),
+        "dns_responses": len(index.dns_responses),
+        "ndp_events": len(index.ndp_events),
+        "dhcp_events": len(index.dhcp_events),
+        "decode_errors": index.decode_errors,
+    }
+
+
+class TestStudyEquivalence:
+    def test_functionality_identical(self, packet_study, flow_study):
+        for config in ALL_CONFIGS:
+            assert (
+                flow_study.experiment(config.name).functionality
+                == packet_study.experiment(config.name).functionality
+            ), f"fidelity changed device functionality under {config.name}"
+
+    def test_indexes_identical(self, packet_study, flow_study):
+        packet_indexes = packet_study.shared_indexes()
+        flow_indexes = flow_study.shared_indexes()
+        for name in packet_indexes:
+            assert _snapshot(flow_indexes[name]) == _snapshot(packet_indexes[name]), (
+                f"fidelity changed the {name} capture index"
+            )
+
+    def test_flow_mode_elides_frames(self, packet_study, flow_study):
+        for config in ALL_CONFIGS:
+            packet_result = packet_study.experiment(config.name)
+            flow_result = flow_study.experiment(config.name)
+            assert len(flow_result.records) <= len(packet_result.records)
+            if config.name == "dual-stack":
+                # The data plane is busiest in dual-stack: records must have
+                # moved off the wire and into aggregate flow records.
+                assert flow_result.flow_records
+                assert len(flow_result.records) < len(packet_result.records)
+
+    def test_packet_mode_emits_no_flow_records(self, packet_study):
+        for config in ALL_CONFIGS:
+            assert packet_study.experiment(config.name).flow_records == []
+
+    def test_active_phases_identical(self, packet_study, flow_study):
+        assert flow_study.port_scan == packet_study.port_scan
+        assert flow_study.active_dns == packet_study.active_dns
+
+
+# A link-loss window spanning the whole experiment: every frame the flow path
+# would elide overlaps the window, so every exchange must stay packet-level.
+FULL_RUN_LOSS = FaultSchedule(
+    name="full-run-loss",
+    windows=(FaultWindow("loss", 0.0, 100_000.0, severity=0.1),),
+)
+
+# A v6 uplink blackhole for a mid-run slice: flows alive inside the window
+# fall back, flows entirely outside it may still take the fast path.
+MID_RUN_BLACKHOLE = FaultSchedule(
+    name="mid-run-blackhole",
+    windows=(FaultWindow("v6-blackhole", 200.0, 400.0),),
+)
+
+
+def _faulted_experiment(fidelity, schedule):
+    testbed = Testbed(seed=11, profiles=_profiles(), include_controls=False)
+    FaultInjector.attach(testbed, schedule)
+    config = with_fidelity(DUAL_STACK, fidelity)
+    return testbed, run_connectivity_experiment(testbed, config, checkins=1)
+
+
+class TestFaultFallback:
+    def test_full_run_hazard_forces_packet_fidelity(self):
+        testbed, result = _faulted_experiment("flow", FULL_RUN_LOSS)
+        assert result.flow_records == [], (
+            "a loss window covering the run must disable the fast path entirely"
+        )
+
+    @pytest.mark.parametrize("schedule", [FULL_RUN_LOSS, MID_RUN_BLACKHOLE], ids=lambda s: s.name)
+    def test_faulted_capture_equivalent(self, schedule):
+        packet_testbed, packet_result = _faulted_experiment("packet", schedule)
+        flow_testbed, flow_result = _faulted_experiment("flow", schedule)
+        packet_index = CaptureIndex(packet_result.records, packet_testbed.mac_table())
+        flow_index = CaptureIndex(
+            flow_result.records,
+            flow_testbed.mac_table(),
+            flow_records=flow_result.flow_records,
+        )
+        assert _snapshot(flow_index) == _snapshot(packet_index)
+
+    def test_full_run_hazard_captures_identical_bytes(self):
+        # With the fast path fully suppressed the two fidelities run the very
+        # same per-frame simulation — including the loss stream's RNG draws —
+        # so even the raw captures match frame for frame.
+        _, packet_result = _faulted_experiment("packet", FULL_RUN_LOSS)
+        _, flow_result = _faulted_experiment("flow", FULL_RUN_LOSS)
+        packet_frames = [(r.timestamp, r.data) for r in packet_result.records]
+        flow_frames = [(r.timestamp, r.data) for r in flow_result.records]
+        assert flow_frames == packet_frames
