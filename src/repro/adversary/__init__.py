@@ -28,11 +28,13 @@ from repro.adversary.campaign import (
 )
 from repro.adversary.population import (
     AdversaryAggregate,
+    AdversaryFold,
     AdversarySpec,
     FirewallOutcome,
     aggregate_adversary,
     generate_adversary_specs,
     run_adversary_fleet,
+    run_adversary_stream,
 )
 from repro.adversary.state import EXTERNAL_SOURCE, EpidemicState, HomeState, TimelinePoint
 from repro.adversary.worm import InfectionTimeline, WormParams, run_worm
@@ -49,11 +51,13 @@ __all__ = [
     "infection_probability",
     "run_campaign",
     "AdversaryAggregate",
+    "AdversaryFold",
     "AdversarySpec",
     "FirewallOutcome",
     "aggregate_adversary",
     "generate_adversary_specs",
     "run_adversary_fleet",
+    "run_adversary_stream",
     "EXTERNAL_SOURCE",
     "EpidemicState",
     "HomeState",

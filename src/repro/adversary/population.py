@@ -23,6 +23,7 @@ column attacks the **same** home population.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -30,7 +31,10 @@ from repro.adversary.analysis import HomeSusceptibility, run_home_susceptibility
 from repro.adversary.worm import InfectionTimeline, WormParams, run_worm
 from repro.faults.schedule import NO_FAULTS, get_fault
 from repro.fleet.runner import FleetResult, ProgressFn, run_fleet
-from repro.fleet.scenario import RolloutScenario, generate_fleet, get_scenario
+from repro.fleet.scenario import RolloutScenario, generate_fleet, generate_home, get_scenario
+from repro.fleet.shard import DEFAULT_CHECKPOINT_EVERY, Fold, ShardProgressFn, run_sharded
+from repro.fleet.store import spec_token
+from repro.fleet.stream import failure_line
 from repro.stack.firewall import FIREWALL_MODES
 
 DEFAULT_SETTLE = 150.0  # sim-seconds of autoconfiguration before the probes
@@ -266,4 +270,162 @@ def aggregate_adversary(
         total_runs=len(fleet.results),
         failed=tuple(failed),
         per_firewall=per_firewall,
+    )
+
+
+# --------------------------------------------------------- streaming fold
+
+
+@dataclass(frozen=True)
+class AdversaryFold(Fold):
+    """Fold (home x firewall) susceptibility cells toward the epidemic phase.
+
+    The adversary layer is the one deliberate exception to O(shards)
+    accumulators: the worm loop is *global* serial arithmetic over the whole
+    per-firewall population, so each shard retains its slice's flat
+    :class:`~repro.adversary.analysis.HomeSusceptibility` records (a few
+    hundred bytes per home — tiny next to the simulations that produced
+    them) and the epidemic runs once, at finalize, over the merged
+    population. Susceptibility measurement — all the actual simulation —
+    still streams and shards like every other subsystem.
+    """
+
+    params: WormParams
+    seed: int
+    scenario_name: str = ""
+
+    def empty(self):
+        return {
+            "total": 0,
+            "failed": [],  # (home_id, firewall, first error line)
+            "fault": None,
+            "fw": {},  # firewall -> [HomeSusceptibility, ...]
+        }
+
+    def add(self, acc, outcomes):
+        for result in outcomes:
+            acc["total"] += 1
+            spec = result.spec
+            if not result.ok:
+                acc["failed"].append((spec.home_id, spec.firewall, failure_line(result.error)))
+                continue
+            acc["fault"] = result.summary.fault
+            acc["fw"].setdefault(spec.firewall, []).append(result.summary)
+        return acc
+
+    def merge(self, left, right):
+        left["total"] += right["total"]
+        left["failed"].extend(right["failed"])
+        if right["fault"] is not None:
+            left["fault"] = right["fault"]
+        for firewall, population in right["fw"].items():
+            left["fw"].setdefault(firewall, []).extend(population)
+        return left
+
+    def finalize(self, acc) -> AdversaryAggregate:
+        per_firewall = tuple(
+            _outcome_for(firewall, population, self.params, self.seed)
+            for firewall, population in sorted(
+                acc["fw"].items(), key=lambda item: _firewall_order(item[0])
+            )
+        )
+        return AdversaryAggregate(
+            scenario_name=self.scenario_name,
+            fault_name=acc["fault"] if acc["fault"] is not None else NO_FAULTS.name,
+            params=self.params,
+            seed=self.seed,
+            total_runs=acc["total"],
+            failed=tuple(sorted(acc["failed"])),
+            per_firewall=per_firewall,
+        )
+
+
+def _adversary_unit(
+    index: int,
+    *,
+    seed: int,
+    scenario: RolloutScenario,
+    firewalls: tuple[str, ...],
+    fault_name: str,
+    settle: float,
+    fidelity: str,
+):
+    home = generate_home(index, seed, scenario)
+    return tuple(
+        AdversarySpec(
+            home_id=home.home_id,
+            sim_seed=home.sim_seed,
+            config_name=home.config_name,
+            firewall=firewall,
+            fault_name=fault_name,
+            device_names=home.device_names,
+            settle=settle,
+            fidelity=fidelity,
+        )
+        for firewall in firewalls
+    )
+
+
+def run_adversary_stream(
+    homes: int,
+    *,
+    seed: int,
+    params: WormParams,
+    scenario: RolloutScenario | str = "baseline",
+    firewalls: Sequence[str] = FIREWALL_MODES,
+    fault_name: str = NO_FAULTS.name,
+    settle: float = DEFAULT_SETTLE,
+    fidelity: str = "packet",
+    shards: int = 1,
+    timeout: Optional[float] = None,
+    journal_dir: Optional[str] = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    progress: Optional[ShardProgressFn] = None,
+) -> AdversaryAggregate:
+    """Sharded streaming equivalent of generate + run + aggregate.
+
+    Byte-identical to the retained path at any shard count. ``seed`` plays
+    the same double role as in the CLI: it draws the home population and
+    seeds the epidemic phase.
+    """
+    if homes < 0:
+        raise ValueError("homes must be >= 0")
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    for firewall in firewalls:
+        if firewall not in FIREWALL_MODES:
+            raise ValueError(f"unknown firewall mode {firewall!r} (known: {', '.join(FIREWALL_MODES)})")
+    if not firewalls:
+        raise ValueError("need at least one firewall mode")
+    get_fault(fault_name)  # fail fast on unknown presets, before any worker
+    return run_sharded(
+        homes,
+        functools.partial(
+            _adversary_unit,
+            seed=seed,
+            scenario=scenario,
+            firewalls=tuple(firewalls),
+            fault_name=fault_name,
+            settle=settle,
+            fidelity=fidelity,
+        ),
+        fold=AdversaryFold(params=params, seed=seed, scenario_name=scenario.name),
+        worker=run_home_susceptibility,
+        shards=shards,
+        timeout=timeout,
+        progress=progress,
+        journal_dir=journal_dir,
+        journal_token=spec_token(
+            "adversary",
+            homes,
+            seed,
+            scenario,
+            tuple(firewalls),
+            fault_name,
+            settle,
+            fidelity,
+            params,
+            timeout,
+        ),
+        checkpoint_every=checkpoint_every,
     )

@@ -64,6 +64,34 @@ def _add_fidelity(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sharding(subparser: argparse.ArgumentParser) -> None:
+    """Sharded streaming flags, shared by every fleet-style command.
+
+    Any of them switches the command onto the O(shards)-memory streaming
+    path (DESIGN.md §14); output stays byte-identical to the retained path
+    at any shard count.
+    """
+    subparser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="long-lived worker shards; streams aggregates in O(shards) memory",
+    )
+    subparser.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="checkpoint shard aggregates here; re-running the same spec resumes",
+    )
+    subparser.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=25,
+        metavar="N",
+        help="journal a shard's running aggregate every N completed homes",
+    )
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -134,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
     _add_fidelity(fleet)
+    _add_sharding(fleet)
 
     exposure = sub.add_parser("exposure", help="WAN-scan a fleet of homes, print the population attack surface")
     exposure.add_argument("--homes", type=_non_negative_int, default=8, help="number of synthetic homes")
@@ -154,6 +183,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     exposure.add_argument("--timeout", type=float, default=None, help="per-scan wall-clock budget in seconds")
     _add_fidelity(exposure)
+    _add_sharding(exposure)
 
     faults = sub.add_parser("faults", help="inject network impairments into a fleet, print the degradation grid")
     faults.add_argument("--homes", type=_non_negative_int, default=4, help="number of synthetic homes")
@@ -185,6 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-presets", action="store_true", help="print the known fault preset names and exit"
     )
     _add_fidelity(faults)
+    _add_sharding(faults)
 
     lifecycle = sub.add_parser(
         "lifecycle", help="advance a fleet through simulated months, print per-epoch trajectories"
@@ -222,6 +253,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-waves", action="store_true", help="print the known rollout wave names and exit"
     )
     _add_fidelity(lifecycle)
+    _add_sharding(lifecycle)
 
     adversary = sub.add_parser(
         "adversary", help="run a scanning campaign + worm outbreak against a fleet, print time-to-compromise"
@@ -270,6 +302,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     adversary.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
     _add_fidelity(adversary)
+    _add_sharding(adversary)
     return parser
 
 
@@ -288,6 +321,30 @@ def _fleet_exit(fleet) -> int:
     for result in failures:
         last_line = (result.error or "unknown error").strip().splitlines()[-1]
         print(f"  home {getattr(result.spec, 'home_id', '?')}: {last_line}", file=sys.stderr)
+    return 1
+
+
+def _use_stream(args) -> bool:
+    return args.shards is not None or args.journal is not None
+
+
+def _shard_progress(done: int, total: int, shard: int, units: int) -> None:
+    print(f"  shard {shard} [{done}/{total}] done ({units} home(s))", file=sys.stderr)
+
+
+def _stream_exit(failed, total: int) -> int:
+    """Exit code for a streamed aggregate: 0 clean, 1 when any run failed.
+
+    ``failed`` entries are tuples whose first element is the home id and
+    whose last is the error's final line (middle elements, when present,
+    name the firewall / config / epoch cell — already part of the line the
+    report renders, so only the ends are printed here).
+    """
+    if not failed:
+        return 0
+    print(f"error: {len(failed)}/{total} home run(s) failed:", file=sys.stderr)
+    for entry in failed:
+        print(f"  home {entry[0]}: {entry[-1]}", file=sys.stderr)
     return 1
 
 
@@ -364,6 +421,38 @@ def main(argv: list[str] | None = None) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
+
+        if _use_stream(args):
+            from repro.fleet.stream import run_fleet_stream
+
+            if args.homes == 0:
+                return _no_work("--homes 0 generates an empty fleet")
+            shards = args.shards or 1
+            print(
+                f"simulating {args.homes} homes (scenario={scenario.name}, "
+                f"seed={args.seed}, shards={shards}) ...",
+                file=sys.stderr,
+            )
+            start = time.time()
+            try:
+                aggregate = run_fleet_stream(
+                    args.homes,
+                    seed=args.seed,
+                    scenario=scenario,
+                    fidelity=args.fidelity,
+                    shards=shards,
+                    timeout=args.timeout,
+                    journal_dir=args.journal,
+                    checkpoint_every=args.checkpoint_every,
+                    progress=_shard_progress,
+                )
+            except ValueError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+            print(render_fleet_summary(aggregate))
+            return _stream_exit(aggregate.failed_homes, aggregate.total_homes)
+
         specs = generate_fleet(args.homes, seed=args.seed, scenario=scenario, fidelity=args.fidelity)
         if not specs:
             return _no_work("--homes 0 generates an empty fleet")
@@ -390,6 +479,39 @@ def main(argv: list[str] | None = None) -> int:
         code = _reject_duplicates("firewall mode(s)", args.firewall)
         if code is not None:
             return code
+
+        if _use_stream(args):
+            from repro.exposure.population import run_exposure_stream
+
+            if args.homes == 0:
+                return _no_work("--homes 0 generates an empty scan fleet")
+            shards = args.shards or 1
+            print(
+                f"WAN-scanning {args.homes} homes x {len(args.firewall)} firewall mode(s) "
+                f"(config={args.config}, seed={args.seed}, shards={shards}) ...",
+                file=sys.stderr,
+            )
+            start = time.time()
+            try:
+                aggregate = run_exposure_stream(
+                    args.homes,
+                    seed=args.seed,
+                    config_name=args.config,
+                    firewalls=tuple(args.firewall),
+                    fidelity=args.fidelity,
+                    shards=shards,
+                    timeout=args.timeout,
+                    journal_dir=args.journal,
+                    checkpoint_every=args.checkpoint_every,
+                    progress=_shard_progress,
+                )
+            except ValueError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+            print(render_exposure(aggregate))
+            return _stream_exit(aggregate.failed, aggregate.total_runs)
+
         specs = generate_exposure_specs(
             args.homes,
             seed=args.seed,
@@ -433,6 +555,39 @@ def main(argv: list[str] | None = None) -> int:
             code = _reject_duplicates(what, values)
             if code is not None:
                 return code
+
+        if _use_stream(args):
+            from repro.faults.population import run_faults_stream
+
+            if args.homes == 0:
+                return _no_work("--homes 0 generates an empty fault fleet")
+            shards = args.shards or 1
+            print(
+                f"injecting {len(args.faults)} fault(s) into {args.homes} homes x "
+                f"{len(args.configs)} config(s) (seed={args.seed}, shards={shards}) ...",
+                file=sys.stderr,
+            )
+            start = time.time()
+            try:
+                aggregate = run_faults_stream(
+                    args.homes,
+                    seed=args.seed,
+                    config_names=tuple(args.configs),
+                    fault_names=tuple(args.faults),
+                    fidelity=args.fidelity,
+                    shards=shards,
+                    timeout=args.timeout,
+                    journal_dir=args.journal,
+                    checkpoint_every=args.checkpoint_every,
+                    progress=_shard_progress,
+                )
+            except (KeyError, ValueError) as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+            print(render_faults(aggregate))
+            return _stream_exit(aggregate.failed, aggregate.total_runs)
+
         try:
             specs = generate_fault_specs(
                 args.homes,
@@ -494,6 +649,41 @@ def main(argv: list[str] | None = None) -> int:
                 rotation=not args.no_rotation,
                 fidelity=args.fidelity,
             )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+        if _use_stream(args):
+            from repro.lifecycle.population import run_lifecycle_stream
+
+            if args.homes == 0:
+                return _no_work("--homes 0 generates an empty timeline")
+            shards = args.shards or 1
+            print(
+                f"advancing {args.homes} homes through {args.epochs} epochs "
+                f"(wave={args.wave}, fault={args.fault}, seed={args.seed}, shards={shards}) ...",
+                file=sys.stderr,
+            )
+            start = time.time()
+            try:
+                aggregate = run_lifecycle_stream(
+                    args.homes,
+                    seed=args.seed,
+                    params=params,
+                    shards=shards,
+                    timeout=args.timeout,
+                    journal_dir=args.journal,
+                    checkpoint_every=args.checkpoint_every,
+                    progress=_shard_progress,
+                )
+            except (KeyError, ValueError) as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+            print(render_lifecycle(aggregate))
+            return _stream_exit(aggregate.failed, aggregate.total_runs)
+
+        try:
             timelines = build_timelines(args.homes, seed=args.seed, params=params)
         except (KeyError, ValueError) as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -544,6 +734,46 @@ def main(argv: list[str] | None = None) -> int:
                 recovery=args.recover,
                 hitlist_background=args.hitlist_background,
             )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+
+        if _use_stream(args):
+            from repro.adversary.population import run_adversary_stream
+
+            if args.homes == 0:
+                return _no_work("--homes 0 generates an empty target population")
+            shards = args.shards or 1
+            print(
+                f"attacking {args.homes} homes x {len(args.firewall)} firewall mode(s) "
+                f"(strategy={args.strategy}, scenario={scenario.name}, fault={args.fault}, "
+                f"seed={args.seed}, shards={shards}) ...",
+                file=sys.stderr,
+            )
+            start = time.time()
+            try:
+                aggregate = run_adversary_stream(
+                    args.homes,
+                    seed=args.seed,
+                    params=params,
+                    scenario=scenario,
+                    firewalls=tuple(args.firewall),
+                    fault_name=args.fault,
+                    fidelity=args.fidelity,
+                    shards=shards,
+                    timeout=args.timeout,
+                    journal_dir=args.journal,
+                    checkpoint_every=args.checkpoint_every,
+                    progress=_shard_progress,
+                )
+            except (KeyError, ValueError) as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+            print(render_adversary(aggregate))
+            return _stream_exit(aggregate.failed, aggregate.total_runs)
+
+        try:
             specs = generate_adversary_specs(
                 args.homes,
                 seed=args.seed,

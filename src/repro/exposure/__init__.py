@@ -26,11 +26,13 @@ from repro.exposure.analysis import (
 )
 from repro.exposure.population import (
     ExposureAggregate,
+    ExposureFold,
     ExposureSpec,
     FirewallStats,
     aggregate_exposure,
     generate_exposure_specs,
     run_exposure_fleet,
+    run_exposure_stream,
 )
 from repro.exposure.wanscan import (
     AttackerKnowledge,
@@ -44,6 +46,7 @@ __all__ = [
     "AttackerKnowledge",
     "DeviceExposure",
     "ExposureAggregate",
+    "ExposureFold",
     "ExposureReport",
     "ExposureSpec",
     "FirewallStats",
@@ -55,6 +58,7 @@ __all__ = [
     "generate_exposure_specs",
     "inventory_oui_knowledge",
     "run_exposure_fleet",
+    "run_exposure_stream",
     "run_home_exposure",
     "summarize_exposure",
 ]

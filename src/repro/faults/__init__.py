@@ -27,11 +27,13 @@ from repro.faults.population import (
     DEFAULT_CONFIGS,
     DEFAULT_FAULTS,
     FaultAggregate,
+    FaultFold,
     FaultSpec,
     TtrStats,
     aggregate_faults,
     generate_fault_specs,
     run_fault_fleet,
+    run_faults_stream,
 )
 from repro.faults.schedule import (
     FAULT_KINDS,
@@ -51,6 +53,7 @@ __all__ = [
     "FAULT_KINDS",
     "FAULT_PRESETS",
     "FaultAggregate",
+    "FaultFold",
     "FaultCounters",
     "FaultInjector",
     "FaultSchedule",
@@ -68,5 +71,6 @@ __all__ = [
     "get_fault",
     "observe_study",
     "run_fault_fleet",
+    "run_faults_stream",
     "run_home_faults",
 ]

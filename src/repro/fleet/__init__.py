@@ -9,10 +9,16 @@ scale related work studies them.
 - :mod:`repro.fleet.runner` — parallel (multiprocessing) fleet executor
 - :mod:`repro.fleet.summary` — compact picklable per-home analytics
 - :mod:`repro.fleet.aggregate` — population-level statistics
+- :mod:`repro.fleet.shard` — sharded streaming execution (O(shards) memory)
+- :mod:`repro.fleet.store` — resumable on-disk shard journals
+- :mod:`repro.fleet.stream` — the fleet rollout fold for sharded runs
 """
 
 from repro.fleet.aggregate import ConfigStats, FleetAggregate, ShareDistribution, aggregate_fleet
 from repro.fleet.runner import FleetResult, HomeResult, HomeTimeout, run_fleet, simulate_home
+from repro.fleet.shard import Fold, run_sharded, shard_ranges
+from repro.fleet.store import JournalStore, spec_token
+from repro.fleet.stream import FleetFold, run_fleet_stream
 from repro.fleet.scenario import (
     SCENARIOS,
     HomeSpec,
@@ -28,11 +34,14 @@ __all__ = [
     "SCENARIOS",
     "ConfigStats",
     "FleetAggregate",
+    "FleetFold",
     "FleetResult",
+    "Fold",
     "HomeResult",
     "HomeSpec",
     "HomeSummary",
     "HomeTimeout",
+    "JournalStore",
     "RolloutScenario",
     "ShareDistribution",
     "aggregate_fleet",
@@ -41,6 +50,10 @@ __all__ = [
     "get_scenario",
     "ipv6_only_flip",
     "run_fleet",
+    "run_fleet_stream",
+    "run_sharded",
+    "shard_ranges",
     "simulate_home",
+    "spec_token",
     "summarize_home",
 ]

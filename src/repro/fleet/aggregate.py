@@ -10,7 +10,6 @@ aggregates to the same bytes regardless of worker scheduling.
 from __future__ import annotations
 
 import math
-import statistics
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Iterable, Optional
@@ -281,17 +280,28 @@ def _config_stats(config_name: str, homes: list[HomeSummary]) -> ConfigStats:
     )
 
 
-def _share_distribution(homes: list[HomeSummary]) -> Optional[ShareDistribution]:
-    shares = [home.v6_share for home in homes if home.v6_share is not None]
-    if not shares:
+def share_distribution(stats: StreamStats, sketch: QuantileSketch) -> Optional[ShareDistribution]:
+    """Render a share distribution from streaming accumulators.
+
+    Both the retained path (:func:`aggregate_fleet`) and the sharded fold
+    (:class:`repro.fleet.stream.FleetFold`) go through here, so the median
+    comes from the mergeable sketch in both — that is what keeps ``--jobs``
+    and ``--shards`` reports byte-identical.
+    """
+    if stats.count == 0:
         return None
     return ShareDistribution(
-        count=len(shares),
-        minimum=min(shares),
-        median=statistics.median(shares),
-        mean=statistics.fmean(shares),
-        maximum=max(shares),
+        count=stats.count,
+        minimum=stats.minimum,
+        median=sketch.median,
+        mean=stats.mean,
+        maximum=stats.maximum,
     )
+
+
+def _share_distribution(homes: list[HomeSummary]) -> Optional[ShareDistribution]:
+    shares = [home.v6_share for home in homes if home.v6_share is not None]
+    return share_distribution(StreamStats.of(shares), QuantileSketch.of(shares))
 
 
 def aggregate_fleet(fleet: FleetResult) -> FleetAggregate:

@@ -137,6 +137,45 @@ def _run_serial(
     return results
 
 
+def _fork_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def _probe_pool() -> bool:
+    return True
+
+
+def start_pool(workers: int):
+    """A :class:`~concurrent.futures.ProcessPoolExecutor` proven usable.
+
+    A probe task runs eagerly so that environments where no worker process
+    can start at all (sandboxes, fd exhaustion) surface here as ``OSError``
+    — which callers treat as "degrade to serial" — rather than as a broken
+    future later, which means "a worker died mid-run" and is reported
+    per-home instead.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=_fork_context())
+    try:
+        pool.submit(_probe_pool).result()
+    except Exception as exc:
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise OSError(f"no usable process pool: {exc!r}") from exc
+    return pool
+
+
+DEAD_WORKER_ERROR = (
+    "worker process died before returning a result "
+    "(killed or crashed, e.g. OOM-killed; the home was not completed)"
+)
+
+
 def _run_parallel(
     specs: Sequence[HomeSpec],
     jobs: int,
@@ -144,19 +183,28 @@ def _run_parallel(
     progress: Optional[ProgressFn],
     worker: WorkerFn,
 ) -> list[HomeResult]:
-    import multiprocessing
+    from concurrent.futures import as_completed
+    from concurrent.futures.process import BrokenProcessPool
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
-        context = multiprocessing.get_context()
     entry = functools.partial(_execute_home, timeout=timeout, worker=worker)
     results = []
-    with context.Pool(processes=jobs) as pool:
-        for done, result in enumerate(pool.imap_unordered(entry, specs), start=1):
+    pool = start_pool(jobs)
+    try:
+        futures = {pool.submit(entry, spec): spec for spec in specs}
+        for done, future in enumerate(as_completed(futures), start=1):
+            try:
+                result = future.result()
+            except BrokenProcessPool:
+                # A worker died without returning (OOM kill, segfault,
+                # os._exit). The executor marks every in-flight future
+                # broken, so each such home becomes a failed HomeResult —
+                # the old Pool.imap_unordered path hung forever here.
+                result = HomeResult(spec=futures[future], error=DEAD_WORKER_ERROR)
             results.append(result)
             if progress is not None:
                 progress(done, len(specs), result)
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
     return results
 
 

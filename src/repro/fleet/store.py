@@ -1,0 +1,114 @@
+"""On-disk journals that make sharded fleet runs resumable.
+
+A sharded run (:mod:`repro.fleet.shard`) folds every per-home summary into a
+small mergeable accumulator instead of retaining it, so the only state worth
+persisting is *the accumulator itself* plus a watermark saying how much of
+the shard's contiguous range it already covers. Each shard appends
+``(units_done, accumulator)`` checkpoint records to its own append-only
+journal file; re-launching the same run finds the last intact record, seeds
+the fold from it, and continues at ``lo + units_done`` — completed ranges
+are never re-simulated, and because the folds merge exactly associatively
+the resumed run renders byte-identical output to an uninterrupted one.
+
+Crash tolerance is structural, not transactional: a ``kill -9`` mid-append
+leaves a torn pickle at the end of the file. :meth:`JournalStore.restore`
+stops at the last record that loads cleanly and truncates the torn tail away
+so later appends extend a valid stream. A ``manifest.json`` fingerprints the
+run (a caller-supplied token over every parameter that shapes the work list,
+plus the unit and shard counts); resuming against a journal written by a
+different run is refused instead of silently merging foreign aggregates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+MANIFEST_NAME = "manifest.json"
+JOURNAL_VERSION = 1
+
+
+def spec_token(*parts) -> str:
+    """A short stable fingerprint over the parameters that define a run.
+
+    ``parts`` must have deterministic ``repr``\\ s (plain values, frozen
+    dataclasses); the token lands in ``manifest.json`` and gates resume.
+    """
+    blob = repr(parts).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class JournalStore:
+    """One run's journal directory: a manifest plus one file per shard.
+
+    Plain picklable fields only — shard worker processes carry the store
+    across the pool boundary and append to their own file directly.
+    """
+
+    directory: str
+    token: str
+    units: int
+    shards: int
+
+    def open(self) -> "JournalStore":
+        """Create the directory and write or validate the manifest."""
+        root = Path(self.directory)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest = root / MANIFEST_NAME
+        payload = {
+            "version": JOURNAL_VERSION,
+            "token": self.token,
+            "units": self.units,
+            "shards": self.shards,
+        }
+        if manifest.exists():
+            existing = json.loads(manifest.read_text())
+            if existing != payload:
+                raise ValueError(
+                    f"journal at {self.directory!r} belongs to a different run "
+                    f"(manifest {existing} != {payload}); resume with the same "
+                    "spec and shard count, or point --journal at a fresh directory"
+                )
+        else:
+            manifest.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        return self
+
+    def shard_path(self, shard: int) -> Path:
+        return Path(self.directory) / f"shard-{shard:04d}.journal"
+
+    def restore(self, shard: int) -> tuple[int, Optional[object]]:
+        """The last intact ``(units_done, accumulator)`` checkpoint.
+
+        Returns ``(0, None)`` when the shard has no journal yet. A torn tail
+        (the run was killed mid-append) is truncated off so subsequent
+        appends extend a clean record stream.
+        """
+        path = self.shard_path(shard)
+        if not path.exists():
+            return 0, None
+        done, acc = 0, None
+        with open(path, "r+b") as fh:
+            valid_end = 0
+            while True:
+                try:
+                    record_done, record_acc = pickle.load(fh)
+                except EOFError:
+                    break
+                except Exception:
+                    # Torn or corrupt tail: keep everything before it.
+                    fh.truncate(valid_end)
+                    break
+                done, acc = record_done, record_acc
+                valid_end = fh.tell()
+        return done, acc
+
+    def append(self, shard: int, done: int, acc: object) -> None:
+        """Append one checkpoint covering the shard's first ``done`` units."""
+        with open(self.shard_path(shard), "ab") as fh:
+            pickle.dump((done, acc), fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()

@@ -22,9 +22,11 @@ from repro.lifecycle.firmware import (
 from repro.lifecycle.population import (
     EpochStats,
     LifecycleAggregate,
+    LifecycleFold,
     aggregate_lifecycle,
     brick_trajectory,
     run_lifecycle_fleet,
+    run_lifecycle_stream,
 )
 from repro.lifecycle.rollout import WAVES, RolloutWave, WaveStage, get_wave
 from repro.lifecycle.timeline import (
@@ -45,6 +47,7 @@ __all__ = [
     "FirmwareRevision",
     "HomeTimeline",
     "LifecycleAggregate",
+    "LifecycleFold",
     "LifecycleParams",
     "MIN_HOME_SIZE",
     "REVISIONS",
@@ -61,6 +64,7 @@ __all__ = [
     "get_wave",
     "run_home_epoch",
     "run_lifecycle_fleet",
+    "run_lifecycle_stream",
     "timeline_specs",
     "upgrade_path",
     "v6_ready",

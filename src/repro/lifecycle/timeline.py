@@ -27,6 +27,7 @@ can execute epochs in any worker order and re-sort by ``sort_key``.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -106,6 +107,7 @@ class HomeTimeline:
     first_transition: Optional[int]  # epoch of the first config change (or None)
 
 
+@functools.cache
 def _inventory_names() -> tuple[str, ...]:
     from repro.devices import build_inventory
 
@@ -195,8 +197,13 @@ def build_timeline(
     )
 
 
+@functools.cache
 def _stock_upgrade_paths() -> dict[str, tuple[str, ...]]:
-    """Upgrade path per stock inventory profile, computed once per fleet."""
+    """Upgrade path per stock inventory profile, computed once per process.
+
+    Cached (callers only read) so sharded workers can plan timelines one
+    home at a time without rebuilding the inventory per home.
+    """
     from repro.devices import build_inventory
 
     return {profile.name: upgrade_path(profile) for profile in build_inventory()}

@@ -149,3 +149,21 @@ def test_aggregate_reports_failures():
     assert aggregate.completed == 0
     assert aggregate.failed[0][:2] == (1, "open")
     assert "FAILED home 1" in render_adversary(aggregate)
+
+
+def test_stream_matches_retained_byte_for_byte():
+    """run_adversary_stream folds one home at a time (retaining only the
+    compact susceptibilities the epidemic needs) yet renders the exact
+    bytes the retained generate + run + aggregate pipeline does."""
+    from repro.adversary import run_adversary_stream
+
+    params = WormParams(horizon=300.0)
+    kwargs = dict(seed=11, scenario="baseline", firewalls=("stateful", "open"), fidelity="flow")
+    specs = generate_adversary_specs(2, **kwargs)
+    retained = aggregate_adversary(
+        run_adversary_fleet(specs, jobs=1), params, seed=11, scenario_name="baseline"
+    )
+    for shards in (1, 2):
+        streamed = run_adversary_stream(2, params=params, shards=shards, **kwargs)
+        assert streamed == retained
+        assert render_adversary(streamed) == render_adversary(retained)

@@ -100,3 +100,16 @@ def test_worker_results_sorted_by_sort_key():
     # the summary is the same object run_home_exposure would produce
     direct = run_home_exposure(specs[2])    # (home 0, "open") sorts first
     assert fleet.results[0].summary == direct
+
+
+def test_stream_matches_retained_byte_for_byte():
+    """run_exposure_stream folds one home at a time yet renders the exact
+    bytes the retained generate + run + aggregate pipeline does."""
+    from repro.exposure import generate_exposure_specs, run_exposure_fleet, run_exposure_stream
+
+    kwargs = dict(seed=11, config_name="dual-stack", firewalls=("stateful", "open"), fidelity="flow")
+    retained = aggregate_exposure(run_exposure_fleet(generate_exposure_specs(2, **kwargs), jobs=1))
+    for shards in (1, 2):
+        streamed = run_exposure_stream(2, shards=shards, **kwargs)
+        assert streamed == retained
+        assert render_exposure(streamed) == render_exposure(retained)

@@ -100,6 +100,32 @@ def test_invalid_jobs_rejected():
         run_fleet(SMALL_HOMES, jobs=0)
 
 
+def _exit_hard(spec):
+    """A worker that dies without returning — an OOM kill stand-in."""
+    if spec.home_id == 1:
+        import os
+
+        os._exit(17)
+    return simulate_home(spec)
+
+
+def test_dead_worker_surfaces_as_failed_home_instead_of_hanging():
+    """Regression: a worker killed mid-home (OOM, segfault) must come back
+    as a failed HomeResult. The old ``Pool.imap_unordered`` path waited
+    forever for a result the dead process would never send."""
+    from repro.fleet.runner import DEAD_WORKER_ERROR
+
+    fleet = run_fleet(SMALL_HOMES + [BROKEN_HOME], jobs=2, worker=_exit_hard)
+    assert len(fleet.results) == 4
+    by_home = {result.spec.home_id: result for result in fleet.results}
+    assert not by_home[1].ok
+    assert by_home[1].error == DEAD_WORKER_ERROR
+    # A dying process can take in-flight siblings down with it; every result
+    # must still be either a real summary or an explicit dead-worker failure.
+    for result in fleet.results:
+        assert result.ok or result.error is not None
+
+
 def test_progress_polling_does_not_perturb_the_simulation():
     """run_home_study's pending-poll timer must not change observable results."""
     from repro.fleet.summary import summarize_home

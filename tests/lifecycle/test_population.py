@@ -153,3 +153,22 @@ class TestFailureAccounting:
         assert (home_id, label) == (0, "epoch 0")
         assert "No Such Device" in error
         assert "FAILED home 0 [epoch 0]" in render_lifecycle(aggregate)
+
+
+def test_stream_matches_retained_byte_for_byte():
+    """run_lifecycle_stream folds one whole timeline at a time yet renders
+    the exact bytes the retained plan + run + aggregate pipeline does."""
+    from repro.lifecycle import (
+        LifecycleParams,
+        build_timelines,
+        run_lifecycle_stream,
+        timeline_specs,
+    )
+
+    params = LifecycleParams(epochs=3, wave="flash-cut", exposure=True, fidelity="flow")
+    specs = timeline_specs(build_timelines(3, seed=11, params=params))
+    retained = aggregate_lifecycle(run_lifecycle_fleet(specs, jobs=1), wave_name=params.wave)
+    for shards in (1, 2):
+        streamed = run_lifecycle_stream(3, seed=11, params=params, shards=shards)
+        assert streamed == retained
+        assert render_lifecycle(streamed) == render_lifecycle(retained)

@@ -227,3 +227,52 @@ def test_fleet_fidelity_output_identical(capsys):
     packet_out = capsys.readouterr().out
     assert main(args + ["--fidelity", "flow"]) == 0
     assert capsys.readouterr().out == packet_out
+
+
+def test_fleet_shards_render_identical_to_jobs(capsys):
+    base = ["fleet", "--homes", "3", "--seed", "7", "--fidelity", "flow", "--scenario", "flip50"]
+    assert main(base + ["--jobs", "1"]) == 0
+    retained = capsys.readouterr().out
+    assert main(base + ["--shards", "2"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == retained
+    assert "shards=2" in captured.err
+
+
+def test_fleet_journal_resume_renders_identical(capsys, tmp_path):
+    journal = str(tmp_path / "journal")
+    base = ["fleet", "--homes", "3", "--seed", "7", "--fidelity", "flow",
+            "--shards", "2", "--journal", journal, "--checkpoint-every", "1"]
+    assert main(base) == 0
+    first = capsys.readouterr().out
+    assert main(base) == 0  # everything restored from the journal
+    assert capsys.readouterr().out == first
+
+
+def test_fleet_journal_mismatch_exits_nonzero(capsys, tmp_path):
+    journal = str(tmp_path / "journal")
+    base = ["fleet", "--homes", "2", "--fidelity", "flow", "--shards", "1", "--journal", journal]
+    assert main(base + ["--seed", "7"]) == 0
+    capsys.readouterr()
+    assert main(base + ["--seed", "8"]) == 2
+    assert "different run" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("command", ["fleet", "exposure", "faults", "lifecycle", "adversary"])
+def test_shards_zero_homes_exits_nonzero(command, capsys):
+    assert main([command, "--homes", "0", "--shards", "2"]) == 2
+    assert "nothing to run" in capsys.readouterr().err
+
+
+def test_faults_stream_worker_failure_exits_nonzero(capsys, monkeypatch):
+    import repro.faults.population as population
+
+    def exploding_worker(spec):
+        raise RuntimeError("stream worker crashed")
+
+    monkeypatch.setattr(population, "run_home_faults", exploding_worker)
+    assert main(["faults", "--homes", "1", "--shards", "1",
+                 "--configs", "ipv6-only", "--faults", "dns-blackout"]) == 1
+    captured = capsys.readouterr()
+    assert "home run(s) failed" in captured.err
+    assert "stream worker crashed" in captured.err
