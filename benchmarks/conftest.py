@@ -170,6 +170,12 @@ def pytest_sessionfinish(session, exitstatus):
     """Emit BENCH_pipeline.json for whatever pipeline stages this run timed."""
     if "study_seconds" not in PIPELINE_TIMINGS:
         return
+    # Study-cache economics for the whole benchmark session: how many home
+    # studies the content-addressed cache absorbed (memory dedup + disk)
+    # versus actually simulated, counted by the cache itself.
+    from repro.cache import process_counters
+
+    PIPELINE_TIMINGS.update(process_counters())
     payload = {key: round(value, 3) for key, value in PIPELINE_TIMINGS.items()}
     stages = ("study_seconds", "index_seconds", "tables_seconds")
     if all(key in PIPELINE_TIMINGS for key in stages):

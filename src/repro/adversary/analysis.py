@@ -25,10 +25,12 @@ functions of these summaries.
 
 from __future__ import annotations
 
+import dataclasses
 import ipaddress
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.cache import cached_artifact, study_fingerprint
 from repro.exposure.analysis import effective_pinholes, headline_addr_kind
 from repro.exposure.wanscan import WanScanner
 from repro.faults.schedule import NO_FAULTS, get_fault
@@ -142,20 +144,45 @@ def run_home_susceptibility(spec: "AdversarySpec") -> HomeSusceptibility:
     IPv4-only homes return an immune summary instead of raising: in a mixed
     fleet rollout they are legitimate population members the worm simply
     cannot reach over v6 (NAT44's accidental shield, the paper's baseline).
+
+    Consults the ambient study cache; the fault schedule's *content* joins
+    the closure (not just its name), and the stored
+    :class:`HomeSusceptibility` is ``home_id``-neutral, relabeled per hit.
     """
     config = with_firewall(resolve_config(spec.config_name), spec.firewall)
-    config = with_fidelity(config, getattr(spec, "fidelity", "packet"))
+    config = with_fidelity(config, spec.fidelity)
     if not config.ipv6:
         return _immune_home(spec)
 
     profiles = profiles_by_name(spec.device_names)
+    schedule = get_fault(spec.fault_name) if spec.fault_name != NO_FAULTS.name else None
+    fingerprint = study_fingerprint(
+        sim_seed=spec.sim_seed,
+        config=config,
+        profiles=profiles,
+        fault_schedule=schedule,
+        extra=("settle", spec.settle),
+    )
+
+    def compute() -> HomeSusceptibility:
+        measured = _measure_home(spec, config, profiles, schedule)
+        return dataclasses.replace(measured, home_id=-1)
+
+    summary = cached_artifact(fingerprint, "adversary-susceptibility", 1, compute)
+    return dataclasses.replace(summary, home_id=spec.home_id)
+
+
+def _measure_home(
+    spec: "AdversarySpec", config, profiles, schedule
+) -> HomeSusceptibility:
+    """The uncached body: build (optionally faulted), settle, probe."""
     testbed = Testbed(seed=spec.sim_seed, profiles=profiles, include_controls=False)
 
     injector = None
-    if spec.fault_name != NO_FAULTS.name:
+    if schedule is not None:
         from repro.faults.inject import FaultInjector
 
-        injector = FaultInjector.attach(testbed, get_fault(spec.fault_name))
+        injector = FaultInjector.attach(testbed, schedule)
 
     testbed.router.configure(config)
     # No capture runs here either (see run_home_exposure): only the enable

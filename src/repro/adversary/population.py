@@ -24,6 +24,7 @@ column attacks the **same** home population.
 from __future__ import annotations
 
 import functools
+import operator
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -110,9 +111,18 @@ def run_adversary_fleet(
     jobs: int = 1,
     timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
+    cache: Optional[CacheSettings] = None,
 ) -> FleetResult:
     """Measure every (home, firewall) cell; results ordered by ``sort_key``."""
-    return run_fleet(specs, jobs=jobs, timeout=timeout, progress=progress, worker=run_home_susceptibility)
+    return run_fleet(
+        specs,
+        jobs=jobs,
+        timeout=timeout,
+        progress=progress,
+        worker=run_home_susceptibility,
+        cache=cache,
+        group=operator.attrgetter("home_id") if cache is not None else None,
+    )
 
 
 # ------------------------------------------------------------- aggregation
@@ -381,6 +391,7 @@ def run_adversary_stream(
     journal_dir: Optional[str] = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     progress: Optional[ShardProgressFn] = None,
+    cache: Optional[CacheSettings] = None,
 ) -> AdversaryAggregate:
     """Sharded streaming equivalent of generate + run + aggregate.
 
@@ -428,4 +439,5 @@ def run_adversary_stream(
             timeout,
         ),
         checkpoint_every=checkpoint_every,
+        cache=cache,
     )

@@ -1,0 +1,116 @@
+"""Canonical fingerprints over study input closures.
+
+A fingerprint must satisfy two properties the property tests in
+``tests/cache/test_fingerprint.py`` pin down:
+
+- **extensional equality** — two closures that would drive byte-identical
+  simulations hash identically, however their values were constructed
+  (dict insertion order, set order, list vs tuple, independently rebuilt
+  profile objects);
+- **sensitivity** — flipping any semantically meaningful field (the seed,
+  the firewall mode, the fidelity, one profile attribute, one fault
+  window) changes the hash.
+
+Canonicalization is structural: dataclasses decompose into
+``(qualified-name, sorted field items)``, mappings and sets sort their
+items, sequences keep their order (device order shapes MAC assignment and
+is part of the closure). Objects without a deterministic decomposition are
+refused with ``TypeError`` rather than hashed by ``repr`` — a memory
+address leaking into a fingerprint would silently disable every hit.
+
+The **code epoch** folds the package version into every persistent cache
+key, mirroring the ``spec_token`` manifest discipline of
+:mod:`repro.fleet.store`: artifacts extracted by different code are never
+reused, they are recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import ipaddress
+from typing import Optional
+
+from repro import __version__
+
+# Bump to invalidate every existing cache entry without a version bump
+# (e.g. a simulation-semantics fix that keeps the public version).
+CACHE_GENERATION = 1
+
+
+def code_epoch() -> str:
+    """The token stamped into (and demanded of) every persistent entry."""
+    blob = f"repro-{__version__}/gen-{CACHE_GENERATION}".encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def canonical(value):
+    """Reduce ``value`` to a nested-tuple normal form with stable ``repr``.
+
+    Equal closures canonicalize equal; unsupported types raise
+    ``TypeError`` so non-deterministic reprs can never leak into a key.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, enum.Enum):
+        return ("enum", type(value).__qualname__, value.value)
+    if isinstance(value, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
+        return ("ip", str(value))
+    if isinstance(value, (ipaddress.IPv4Network, ipaddress.IPv6Network)):
+        return ("net", str(value))
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Declared fields only: ad-hoc attributes attached after construction
+        # (e.g. a testbed-assigned .mac) are runtime state, not input.
+        items = tuple(
+            (field.name, canonical(getattr(value, field.name)))
+            for field in dataclasses.fields(value)
+        )
+        return ("dc", type(value).__qualname__, items)
+    if isinstance(value, dict):
+        items = tuple((canonical(k), canonical(v)) for k, v in value.items())
+        return ("map", tuple(sorted(items, key=repr)))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted((canonical(v) for v in value), key=repr)))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(canonical(v) for v in value))
+    raise TypeError(
+        f"cannot canonicalize {type(value).__qualname__!r} for a cache fingerprint; "
+        "pass plain values, dataclasses, mappings, or sequences"
+    )
+
+
+def digest(*parts) -> str:
+    """A hex sha256 over the canonical form of ``parts``."""
+    blob = repr(tuple(canonical(part) for part in parts)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def study_fingerprint(
+    *,
+    sim_seed: int,
+    config,
+    profiles,
+    checkins: Optional[int] = None,
+    fault_schedule=None,
+    extra=(),
+) -> str:
+    """Fingerprint one home study's full input closure.
+
+    ``config`` must be the *resolved* :class:`~repro.stack.config.NetworkConfig`
+    with firewall and fidelity already applied — the closure hashes what the
+    simulator will actually see, not the CLI spelling. ``profiles`` are the
+    concrete :class:`~repro.devices.profile.DeviceProfile` objects in device
+    order (contents hash, so firmware-transformed lifecycle profiles get
+    their own keys). ``extra`` carries worker-specific closure items such as
+    an exposure settle horizon.
+    """
+    return digest(
+        "study",
+        sim_seed,
+        config,
+        tuple(profiles),
+        checkins,
+        fault_schedule,
+        tuple(extra),
+    )

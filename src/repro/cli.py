@@ -92,6 +92,49 @@ def _add_sharding(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed study cache; re-runs reuse extracted artifacts",
+    )
+
+
+def _cache_settings(args):
+    """Build the optional CacheSettings without importing eagerly."""
+    if args.cache is None:
+        return None
+    from repro.cache import CacheSettings
+
+    return CacheSettings(directory=args.cache)
+
+
+def _cache_before(cache):
+    """Snapshot the store's event log so the run's delta can be reported."""
+    if cache is None:
+        return None
+    from repro.cache import read_disk_stats
+
+    return read_disk_stats(cache.directory)
+
+
+def _report_cache(cache, before) -> None:
+    """Print this run's cache hit/miss delta to stderr (stdout untouched)."""
+    if cache is None:
+        return
+    from repro.cache import read_disk_stats
+
+    after = read_disk_stats(cache.directory)
+    delta = {event: after[event] - before.get(event, 0) for event in after}
+    hits = delta.get("hit-memory", 0) + delta.get("hit-disk", 0)
+    print(
+        f"cache: {hits} hit(s) ({delta.get('hit-disk', 0)} from disk), "
+        f"{delta.get('miss', 0)} miss(es)",
+        file=sys.stderr,
+    )
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -163,6 +206,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
     _add_fidelity(fleet)
     _add_sharding(fleet)
+    _add_cache(fleet)
 
     exposure = sub.add_parser("exposure", help="WAN-scan a fleet of homes, print the population attack surface")
     exposure.add_argument("--homes", type=_non_negative_int, default=8, help="number of synthetic homes")
@@ -184,6 +228,7 @@ def _build_parser() -> argparse.ArgumentParser:
     exposure.add_argument("--timeout", type=float, default=None, help="per-scan wall-clock budget in seconds")
     _add_fidelity(exposure)
     _add_sharding(exposure)
+    _add_cache(exposure)
 
     faults = sub.add_parser("faults", help="inject network impairments into a fleet, print the degradation grid")
     faults.add_argument("--homes", type=_non_negative_int, default=4, help="number of synthetic homes")
@@ -216,6 +261,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fidelity(faults)
     _add_sharding(faults)
+    _add_cache(faults)
 
     lifecycle = sub.add_parser(
         "lifecycle", help="advance a fleet through simulated months, print per-epoch trajectories"
@@ -254,6 +300,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fidelity(lifecycle)
     _add_sharding(lifecycle)
+    _add_cache(lifecycle)
 
     adversary = sub.add_parser(
         "adversary", help="run a scanning campaign + worm outbreak against a fleet, print time-to-compromise"
@@ -303,6 +350,7 @@ def _build_parser() -> argparse.ArgumentParser:
     adversary.add_argument("--timeout", type=float, default=None, help="per-home wall-clock budget in seconds")
     _add_fidelity(adversary)
     _add_sharding(adversary)
+    _add_cache(adversary)
     return parser
 
 
@@ -422,6 +470,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
 
+        cache = _cache_settings(args)
         if _use_stream(args):
             from repro.fleet.stream import run_fleet_stream
 
@@ -433,6 +482,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"seed={args.seed}, shards={shards}) ...",
                 file=sys.stderr,
             )
+            before = _cache_before(cache)
             start = time.time()
             try:
                 aggregate = run_fleet_stream(
@@ -445,11 +495,13 @@ def main(argv: list[str] | None = None) -> int:
                     journal_dir=args.journal,
                     checkpoint_every=args.checkpoint_every,
                     progress=_shard_progress,
+                    cache=cache,
                 )
             except ValueError as exc:
                 print(f"error: {exc.args[0]}", file=sys.stderr)
                 return 2
             print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+            _report_cache(cache, before)
             print(render_fleet_summary(aggregate))
             return _stream_exit(aggregate.failed_homes, aggregate.total_homes)
 
@@ -466,9 +518,11 @@ def main(argv: list[str] | None = None) -> int:
             status = "ok" if result.ok else "FAILED"
             print(f"  home {result.spec.home_id:4d} [{done}/{total}] {status}", file=sys.stderr)
 
+        before = _cache_before(cache)
         start = time.time()
-        fleet = run_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=progress)
+        fleet = run_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=progress, cache=cache)
         print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+        _report_cache(cache, before)
         print(render_fleet_summary(aggregate_fleet(fleet)))
         return _fleet_exit(fleet)
 
@@ -480,6 +534,7 @@ def main(argv: list[str] | None = None) -> int:
         if code is not None:
             return code
 
+        cache = _cache_settings(args)
         if _use_stream(args):
             from repro.exposure.population import run_exposure_stream
 
@@ -491,6 +546,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"(config={args.config}, seed={args.seed}, shards={shards}) ...",
                 file=sys.stderr,
             )
+            before = _cache_before(cache)
             start = time.time()
             try:
                 aggregate = run_exposure_stream(
@@ -504,11 +560,13 @@ def main(argv: list[str] | None = None) -> int:
                     journal_dir=args.journal,
                     checkpoint_every=args.checkpoint_every,
                     progress=_shard_progress,
+                    cache=cache,
                 )
             except ValueError as exc:
                 print(f"error: {exc.args[0]}", file=sys.stderr)
                 return 2
             print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+            _report_cache(cache, before)
             print(render_exposure(aggregate))
             return _stream_exit(aggregate.failed, aggregate.total_runs)
 
@@ -534,9 +592,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
+        before = _cache_before(cache)
         start = time.time()
-        fleet = run_exposure_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=scan_progress)
+        fleet = run_exposure_fleet(
+            specs, jobs=args.jobs, timeout=args.timeout, progress=scan_progress, cache=cache
+        )
         print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+        _report_cache(cache, before)
         print(render_exposure(aggregate_exposure(fleet)))
         return _fleet_exit(fleet)
 
@@ -556,6 +618,7 @@ def main(argv: list[str] | None = None) -> int:
             if code is not None:
                 return code
 
+        cache = _cache_settings(args)
         if _use_stream(args):
             from repro.faults.population import run_faults_stream
 
@@ -567,6 +630,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"{len(args.configs)} config(s) (seed={args.seed}, shards={shards}) ...",
                 file=sys.stderr,
             )
+            before = _cache_before(cache)
             start = time.time()
             try:
                 aggregate = run_faults_stream(
@@ -580,11 +644,13 @@ def main(argv: list[str] | None = None) -> int:
                     journal_dir=args.journal,
                     checkpoint_every=args.checkpoint_every,
                     progress=_shard_progress,
+                    cache=cache,
                 )
             except (KeyError, ValueError) as exc:
                 print(f"error: {exc.args[0]}", file=sys.stderr)
                 return 2
             print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+            _report_cache(cache, before)
             print(render_faults(aggregate))
             return _stream_exit(aggregate.failed, aggregate.total_runs)
 
@@ -614,9 +680,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
+        before = _cache_before(cache)
         start = time.time()
-        fleet = run_fault_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=fault_progress)
+        fleet = run_fault_fleet(
+            specs, jobs=args.jobs, timeout=args.timeout, progress=fault_progress, cache=cache
+        )
         print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+        _report_cache(cache, before)
         print(render_faults(aggregate_faults(fleet)))
         return _fleet_exit(fleet)
 
@@ -653,6 +723,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
 
+        cache = _cache_settings(args)
         if _use_stream(args):
             from repro.lifecycle.population import run_lifecycle_stream
 
@@ -664,6 +735,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"(wave={args.wave}, fault={args.fault}, seed={args.seed}, shards={shards}) ...",
                 file=sys.stderr,
             )
+            before = _cache_before(cache)
             start = time.time()
             try:
                 aggregate = run_lifecycle_stream(
@@ -675,11 +747,13 @@ def main(argv: list[str] | None = None) -> int:
                     journal_dir=args.journal,
                     checkpoint_every=args.checkpoint_every,
                     progress=_shard_progress,
+                    cache=cache,
                 )
             except (KeyError, ValueError) as exc:
                 print(f"error: {exc.args[0]}", file=sys.stderr)
                 return 2
             print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+            _report_cache(cache, before)
             print(render_lifecycle(aggregate))
             return _stream_exit(aggregate.failed, aggregate.total_runs)
 
@@ -704,9 +778,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
+        before = _cache_before(cache)
         start = time.time()
-        fleet = run_lifecycle_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=epoch_progress)
+        fleet = run_lifecycle_fleet(
+            specs, jobs=args.jobs, timeout=args.timeout, progress=epoch_progress, cache=cache
+        )
         print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+        _report_cache(cache, before)
         print(render_lifecycle(aggregate_lifecycle(fleet, wave_name=args.wave)))
         return _fleet_exit(fleet)
 
@@ -738,6 +816,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
 
+        cache = _cache_settings(args)
         if _use_stream(args):
             from repro.adversary.population import run_adversary_stream
 
@@ -750,6 +829,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"seed={args.seed}, shards={shards}) ...",
                 file=sys.stderr,
             )
+            before = _cache_before(cache)
             start = time.time()
             try:
                 aggregate = run_adversary_stream(
@@ -765,11 +845,13 @@ def main(argv: list[str] | None = None) -> int:
                     journal_dir=args.journal,
                     checkpoint_every=args.checkpoint_every,
                     progress=_shard_progress,
+                    cache=cache,
                 )
             except (KeyError, ValueError) as exc:
                 print(f"error: {exc.args[0]}", file=sys.stderr)
                 return 2
             print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+            _report_cache(cache, before)
             print(render_adversary(aggregate))
             return _stream_exit(aggregate.failed, aggregate.total_runs)
 
@@ -801,9 +883,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
+        before = _cache_before(cache)
         start = time.time()
-        fleet = run_adversary_fleet(specs, jobs=args.jobs, timeout=args.timeout, progress=adversary_progress)
+        fleet = run_adversary_fleet(
+            specs, jobs=args.jobs, timeout=args.timeout, progress=adversary_progress, cache=cache
+        )
         print(f"done in {time.time() - start:.1f}s", file=sys.stderr)
+        _report_cache(cache, before)
         print(render_adversary(aggregate_adversary(fleet, params, seed=args.seed, scenario_name=scenario.name)))
         return _fleet_exit(fleet)
 

@@ -10,9 +10,11 @@ in ``pinhole`` mode, runs the WAN attacker, and returns a flat, picklable
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.cache import cached_artifact, study_fingerprint
 from repro.devices.profile import Category, DeviceProfile
 from repro.exposure.wanscan import WanScanner, WanScanResult
 from repro.stack.config import with_fidelity, with_firewall
@@ -138,13 +140,35 @@ def run_home_exposure(spec: "ExposureSpec") -> HomeExposure:
 
     Raises on IPv4-only configs: with no routed IPv6 there is no WAN-v6
     attack surface to measure (NAT44 is the paper's baseline, not a finding).
+
+    Consults the ambient study cache: the firewall mode rides inside the
+    resolved config, so each (home, firewall) cell keys its own artifact —
+    a :class:`HomeExposure` with the ``home_id`` label neutralized and
+    reattached on every hit.
     """
     config = with_firewall(resolve_config(spec.config_name), spec.firewall)
-    config = with_fidelity(config, getattr(spec, "fidelity", "packet"))
+    config = with_fidelity(config, spec.fidelity)
     if not config.ipv6:
         raise ValueError(f"config {config.name!r} has no IPv6; nothing to expose")
 
     profiles = profiles_by_name(spec.device_names)
+    fingerprint = study_fingerprint(
+        sim_seed=spec.sim_seed,
+        config=config,
+        profiles=profiles,
+        extra=("settle", spec.settle),
+    )
+
+    def compute() -> HomeExposure:
+        scan = _scan_home(spec, config, profiles)
+        return dataclasses.replace(summarize_exposure(scan, spec), home_id=-1)
+
+    exposure = cached_artifact(fingerprint, "exposure-scan", 1, compute)
+    return dataclasses.replace(exposure, home_id=spec.home_id)
+
+
+def _scan_home(spec: "ExposureSpec", config, profiles) -> WanScanResult:
+    """The uncached body: build, settle, pinhole, scan."""
     testbed = Testbed(seed=spec.sim_seed, profiles=profiles, include_controls=False)
     testbed.router.configure(config)
     # No capture runs here, so the fast path only needs the enable bit; the
@@ -159,5 +183,4 @@ def run_home_exposure(spec: "ExposureSpec") -> HomeExposure:
             for proto, port in effective_pinholes(device.profile):
                 testbed.router.add_pinhole(device.mac, proto, port)
 
-    scan = WanScanner(testbed).run()
-    return summarize_exposure(scan, spec)
+    return WanScanner(testbed).run()

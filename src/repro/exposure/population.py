@@ -11,9 +11,11 @@ counterfactuals, not resampling noise.
 from __future__ import annotations
 
 import functools
+import operator
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.cache import CacheSettings
 from repro.exposure.analysis import HomeExposure, run_home_exposure
 from repro.fleet.runner import FleetResult, ProgressFn, run_fleet
 from repro.fleet.scenario import RolloutScenario, generate_fleet, generate_home
@@ -92,9 +94,18 @@ def run_exposure_fleet(
     jobs: int = 1,
     timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
+    cache: Optional[CacheSettings] = None,
 ) -> FleetResult:
     """Scan every (home, firewall) cell; results ordered by ``sort_key``."""
-    return run_fleet(specs, jobs=jobs, timeout=timeout, progress=progress, worker=run_home_exposure)
+    return run_fleet(
+        specs,
+        jobs=jobs,
+        timeout=timeout,
+        progress=progress,
+        worker=run_home_exposure,
+        cache=cache,
+        group=operator.attrgetter("home_id") if cache is not None else None,
+    )
 
 
 # ------------------------------------------------------------- aggregation
@@ -354,6 +365,7 @@ def run_exposure_stream(
     journal_dir: Optional[str] = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     progress: Optional[ShardProgressFn] = None,
+    cache: Optional[CacheSettings] = None,
 ) -> ExposureAggregate:
     """Sharded streaming equivalent of generate + run + aggregate.
 
@@ -390,4 +402,5 @@ def run_exposure_stream(
             "exposure", homes, seed, config.name, tuple(firewalls), settle, fidelity, timeout
         ),
         checkpoint_every=checkpoint_every,
+        cache=cache,
     )

@@ -26,8 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.cache import cached_artifact, study_fingerprint
 from repro.faults.schedule import FaultSchedule, get_fault
-from repro.testbed.study import Study, run_home_study
+from repro.testbed.study import Study, resolve_home_inputs, run_home_study
 
 if TYPE_CHECKING:
     from repro.faults.population import FaultSpec
@@ -153,13 +154,28 @@ def run_home_faults(spec: "FaultSpec", extra_schedules: tuple = ()) -> HomeFault
 
     ``extra_schedules`` accepts ad-hoc :class:`FaultSchedule` objects (keyed
     by their own name) on top of the named presets in ``spec.fault_names``.
+
+    Both arms consult the ambient study cache. The **baseline arm** is
+    fingerprinted by the clean closure alone, so every spec sharing a
+    (seed, config, devices) triple — a schedule sweep split across specs,
+    or a repeated ``--cache`` run — simulates it exactly once; the stored
+    artifacts are the observation dicts, never the studies.
     """
-    fidelity = getattr(spec, "fidelity", "packet")
-    baseline_study = run_home_study(
-        spec.sim_seed, spec.config_name, spec.device_names, checkins=spec.checkins, fidelity=fidelity
+    config, profiles = resolve_home_inputs(
+        spec.config_name, spec.device_names, fidelity=spec.fidelity
     )
-    baseline = observe_study(baseline_study, spec.config_name)
-    del baseline_study  # the captures are large; only the observations matter
+
+    def compute_baseline() -> dict[str, DeviceObservation]:
+        study = run_home_study(
+            spec.sim_seed, config, spec.device_names, checkins=spec.checkins, profiles=profiles
+        )
+        # The captures are large; only the observations leave this frame.
+        return observe_study(study, config.name)
+
+    clean_fp = study_fingerprint(
+        sim_seed=spec.sim_seed, config=config, profiles=profiles, checkins=spec.checkins
+    )
+    baseline = cached_artifact(clean_fp, "faults-baseline", 1, compute_baseline)
 
     grid = [(name, get_fault(name)) for name in spec.fault_names]
     grid.extend((schedule.name, schedule) for schedule in extra_schedules)
@@ -167,16 +183,28 @@ def run_home_faults(spec: "FaultSpec", extra_schedules: tuple = ()) -> HomeFault
     cells: list[CellOutcome] = []
     injected: list[tuple[str, int]] = []
     for fault_name, schedule in grid:
-        study = run_home_study(
-            spec.sim_seed,
-            spec.config_name,
-            spec.device_names,
+
+        def compute_arm(schedule=schedule):
+            study = run_home_study(
+                spec.sim_seed,
+                config,
+                spec.device_names,
+                checkins=spec.checkins,
+                fault_schedule=schedule,
+                profiles=profiles,
+            )
+            observed = observe_study(study, config.name, after=schedule.last_end)
+            return observed, study.testbed.faults.counters.total
+
+        arm_fp = study_fingerprint(
+            sim_seed=spec.sim_seed,
+            config=config,
+            profiles=profiles,
             checkins=spec.checkins,
             fault_schedule=schedule,
-            fidelity=fidelity,
         )
-        observed = observe_study(study, spec.config_name, after=schedule.last_end)
-        injected.append((fault_name, study.testbed.faults.counters.total))
+        observed, fault_events = cached_artifact(arm_fp, "faults-arm", 1, compute_arm)
+        injected.append((fault_name, fault_events))
         for name in sorted(observed):
             outcome, ttr = classify_device(baseline[name], observed[name], schedule)
             faulted = observed[name]
@@ -193,7 +221,6 @@ def run_home_faults(spec: "FaultSpec", extra_schedules: tuple = ()) -> HomeFault
                     fallbacks=max(0, faulted.fallbacks - base.fallbacks),
                 )
             )
-        del study
 
     return HomeFaultSummary(
         home_id=spec.home_id,

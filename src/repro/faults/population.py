@@ -11,9 +11,11 @@ paired counterfactuals, not resampling noise.
 from __future__ import annotations
 
 import functools
+import operator
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.cache import CacheSettings
 from repro.faults.analysis import CellOutcome, HomeFaultSummary, OUTCOMES, run_home_faults
 from repro.faults.schedule import get_fault
 from repro.fleet.aggregate import QuantileSketch
@@ -47,7 +49,10 @@ class FaultSpec:
 
     @property
     def sort_key(self) -> tuple:
-        return (self.home_id, self.config_name)
+        # fault_names joins the key so arm-per-spec sweeps (one schedule per
+        # spec, several specs per home/config) stay totally ordered at any
+        # --jobs; classic one-spec-per-cell runs are unaffected.
+        return (self.home_id, self.config_name, self.fault_names)
 
     @property
     def size(self) -> int:
@@ -99,9 +104,23 @@ def run_fault_fleet(
     jobs: int = 1,
     timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
+    cache: Optional[CacheSettings] = None,
 ) -> FleetResult:
-    """Run every (home, config) cell; results ordered by ``sort_key``."""
-    return run_fleet(specs, jobs=jobs, timeout=timeout, progress=progress, worker=run_home_faults)
+    """Run every (home, config) cell; results ordered by ``sort_key``.
+
+    With ``cache`` set, a home's cells are grouped into one worker task so
+    arms sharing a clean closure (schedule sweeps split across specs)
+    simulate their baseline exactly once per home.
+    """
+    return run_fleet(
+        specs,
+        jobs=jobs,
+        timeout=timeout,
+        progress=progress,
+        worker=run_home_faults,
+        cache=cache,
+        group=operator.attrgetter("home_id") if cache is not None else None,
+    )
 
 
 # ------------------------------------------------------------- aggregation
@@ -385,6 +404,7 @@ def run_faults_stream(
     journal_dir: Optional[str] = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     progress: Optional[ShardProgressFn] = None,
+    cache: Optional[CacheSettings] = None,
 ) -> FaultAggregate:
     """Sharded streaming equivalent of generate + run + aggregate.
 
@@ -420,4 +440,5 @@ def run_faults_stream(
             "faults", homes, seed, resolved, tuple(fault_names), checkins, fidelity, timeout
         ),
         checkpoint_every=checkpoint_every,
+        cache=cache,
     )

@@ -19,6 +19,7 @@ callable can be fanned out (the exposure subsystem reuses it with
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import signal
 import threading
@@ -27,9 +28,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence
 
+from repro.cache import CacheSettings, CachingWorker, cached_artifact, study_fingerprint
 from repro.fleet.scenario import HomeSpec
 from repro.fleet.summary import HomeSummary, summarize_home
-from repro.testbed.study import run_home_study
+from repro.testbed.study import resolve_home_inputs, run_home_study
 
 
 class HomeTimeout(Exception):
@@ -96,15 +98,28 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
 
 
 def simulate_home(spec: HomeSpec) -> HomeSummary:
-    """Run one home end-to-end and summarize it (raises on failure)."""
-    study = run_home_study(
-        spec.sim_seed,
-        spec.config_name,
-        spec.device_names,
-        checkins=spec.checkins,
-        fidelity=getattr(spec, "fidelity", "packet"),
+    """Run one home end-to-end and summarize it (raises on failure).
+
+    Consults the ambient study cache: the stored artifact is the summary
+    with its ``home_id`` neutralized (the id labels the row, it does not
+    shape the simulation), reattached from the spec on every hit — which is
+    how paired flip scenarios share their unflipped homes.
+    """
+    config, profiles = resolve_home_inputs(
+        spec.config_name, spec.device_names, fidelity=spec.fidelity
     )
-    return summarize_home(study, spec)
+
+    def compute() -> HomeSummary:
+        study = run_home_study(
+            spec.sim_seed, config, spec.device_names, checkins=spec.checkins, profiles=profiles
+        )
+        return dataclasses.replace(summarize_home(study, spec), home_id=-1)
+
+    fingerprint = study_fingerprint(
+        sim_seed=spec.sim_seed, config=config, profiles=profiles, checkins=spec.checkins
+    )
+    summary = cached_artifact(fingerprint, "fleet-summary", 1, compute)
+    return dataclasses.replace(summary, home_id=spec.home_id)
 
 
 WorkerFn = Callable[[object], object]
@@ -176,33 +191,61 @@ DEAD_WORKER_ERROR = (
 )
 
 
+def plan_groups(specs: Sequence[HomeSpec], group: Callable[[object], object]) -> list[tuple]:
+    """Partition specs into dedup groups, first-appearance order throughout.
+
+    The in-run dedup planner: specs sharing a group key (the home id — the
+    axis along which population sweeps repeat a baseline arm) are submitted
+    to *one* pool task, so their shared studies collide in that worker's
+    memory-tier cache instead of being simulated once per worker.
+    """
+    grouped: dict = {}
+    for spec in specs:
+        grouped.setdefault(group(spec), []).append(spec)
+    return [tuple(members) for members in grouped.values()]
+
+
+def _execute_group(
+    specs: tuple, timeout: Optional[float] = None, worker: WorkerFn = simulate_home
+) -> tuple[HomeResult, ...]:
+    """One pool task covering a whole dedup group, one guarded run per spec."""
+    return tuple(_execute_home(spec, timeout, worker) for spec in specs)
+
+
 def _run_parallel(
     specs: Sequence[HomeSpec],
     jobs: int,
     timeout: Optional[float],
     progress: Optional[ProgressFn],
     worker: WorkerFn,
+    group: Optional[Callable[[object], object]] = None,
 ) -> list[HomeResult]:
     from concurrent.futures import as_completed
     from concurrent.futures.process import BrokenProcessPool
 
-    entry = functools.partial(_execute_home, timeout=timeout, worker=worker)
+    groups = plan_groups(specs, group) if group is not None else [(spec,) for spec in specs]
+    entry = functools.partial(_execute_group, timeout=timeout, worker=worker)
     results = []
+    done = 0
     pool = start_pool(jobs)
     try:
-        futures = {pool.submit(entry, spec): spec for spec in specs}
-        for done, future in enumerate(as_completed(futures), start=1):
+        futures = {pool.submit(entry, members): members for members in groups}
+        for future in as_completed(futures):
             try:
-                result = future.result()
+                outcomes = future.result()
             except BrokenProcessPool:
                 # A worker died without returning (OOM kill, segfault,
                 # os._exit). The executor marks every in-flight future
                 # broken, so each such home becomes a failed HomeResult —
                 # the old Pool.imap_unordered path hung forever here.
-                result = HomeResult(spec=futures[future], error=DEAD_WORKER_ERROR)
-            results.append(result)
-            if progress is not None:
-                progress(done, len(specs), result)
+                outcomes = tuple(
+                    HomeResult(spec=spec, error=DEAD_WORKER_ERROR) for spec in futures[future]
+                )
+            for result in outcomes:
+                done += 1
+                results.append(result)
+                if progress is not None:
+                    progress(done, len(specs), result)
     finally:
         pool.shutdown(wait=True, cancel_futures=True)
     return results
@@ -219,6 +262,8 @@ def run_fleet(
     timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
     worker: WorkerFn = simulate_home,
+    cache: Optional[CacheSettings] = None,
+    group: Optional[Callable[[object], object]] = None,
 ) -> FleetResult:
     """Run ``worker`` over every spec and return ordered results.
 
@@ -228,17 +273,25 @@ def run_fleet(
     results are re-sorted by spec ``sort_key`` (``home_id`` for specs without
     one) after collection. ``worker`` must be a picklable module-level
     callable taking one spec.
+
+    ``cache`` activates the study cache (:mod:`repro.cache`) around every
+    spec. ``group`` — a ``spec -> key`` planner function — additionally
+    colocates specs sharing a key in one pool task, so studies they have in
+    common are simulated once and served from the worker's memory tier;
+    results are re-sorted afterwards, so the bytes never change.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     specs = list(specs)
     effective_jobs = min(jobs, len(specs)) or 1
+    if cache is not None:
+        worker = CachingWorker(worker, cache)
 
     if effective_jobs == 1:
         results = _run_serial(specs, timeout, progress, worker)
     else:
         try:
-            results = _run_parallel(specs, effective_jobs, timeout, progress, worker)
+            results = _run_parallel(specs, effective_jobs, timeout, progress, worker, group)
         except (OSError, ImportError):
             # No process pool available here (e.g. sandboxed); degrade to serial.
             results = _run_serial(specs, timeout, progress, worker)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from repro.cache import CacheSettings, CachingWorker
 from repro.fleet.runner import HomeResult, WorkerFn, _execute_home, start_pool
 from repro.fleet.store import JournalStore, spec_token
 
@@ -181,6 +182,7 @@ def run_sharded(
     journal_dir: Optional[str] = None,
     journal_token: str = "",
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    cache: Optional[CacheSettings] = None,
 ):
     """Fold ``units`` home-units into one aggregate across ``shards`` workers.
 
@@ -195,6 +197,12 @@ def run_sharded(
     ``checkpoint_every`` completed units and a re-launch with the same
     ``journal_token`` (a :func:`repro.fleet.store.spec_token` over the run
     parameters) resumes from the checkpoints instead of re-simulating.
+
+    ``cache`` activates the study cache (:mod:`repro.cache`) inside every
+    shard. The unit is already a whole home, so a home's arms (configs,
+    firewalls, schedules) land in one shard process back to back — the
+    memory tier dedups their shared studies, and a ``--cache`` directory
+    additionally persists artifacts across runs.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
@@ -202,6 +210,8 @@ def run_sharded(
         raise ValueError("checkpoint_every must be >= 1")
     effective = min(shards, units) or 1
     ranges = shard_ranges(units, effective)
+    if cache is not None:
+        worker = CachingWorker(worker, cache)
 
     journal = None
     if journal_dir is not None:

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
+from repro.cache.store import atomic_write_bytes
+
 MANIFEST_NAME = "manifest.json"
 JOURNAL_VERSION = 1
 
@@ -75,7 +77,7 @@ class JournalStore:
                     "spec and shard count, or point --journal at a fresh directory"
                 )
         else:
-            manifest.write_text(json.dumps(payload, sort_keys=True) + "\n")
+            atomic_write_bytes(manifest, (json.dumps(payload, sort_keys=True) + "\n").encode())
         return self
 
     def shard_path(self, shard: int) -> Path:

@@ -14,6 +14,7 @@ import functools
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.cache import CacheSettings
 from repro.fleet.aggregate import (
     _CONFIG_ORDER,
     ConfigStats,
@@ -120,6 +121,7 @@ def run_fleet_stream(
     journal_dir: Optional[str] = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     progress: Optional[ShardProgressFn] = None,
+    cache: Optional[CacheSettings] = None,
 ) -> FleetAggregate:
     """Simulate ``homes`` across ``shards`` and stream-fold the aggregate.
 
@@ -139,6 +141,7 @@ def run_fleet_stream(
         journal_dir=journal_dir,
         journal_token=spec_token("fleet", homes, seed, scenario, fidelity, timeout),
         checkpoint_every=checkpoint_every,
+        cache=cache,
     )
 
 

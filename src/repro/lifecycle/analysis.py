@@ -13,15 +13,17 @@ picklable :class:`EpochSummary`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.cache import cached_artifact, study_fingerprint
 from repro.devices.profile import DeviceProfile
 from repro.faults.schedule import get_fault
 from repro.lifecycle.firmware import apply_revisions, evolve
 from repro.lifecycle.timeline import EpochSpec
 from repro.net.ip6 import AddressScope
-from repro.testbed.study import profiles_by_name, resolve_config, run_home_study
+from repro.testbed.study import profiles_by_name, resolve_home_inputs, run_home_study
 
 
 def v6_ready(profile: DeviceProfile) -> bool:
@@ -101,10 +103,46 @@ def epoch_profiles(spec: EpochSpec) -> list[DeviceProfile]:
 
 
 def run_home_epoch(spec: EpochSpec) -> EpochSummary:
-    """Simulate one epoch of one home (module-level: picklable for pools)."""
-    config = resolve_config(spec.config_name)
-    profiles = epoch_profiles(spec)
+    """Simulate one epoch of one home (module-level: picklable for pools).
+
+    Consults the ambient study cache. The fingerprint hashes the epoch's
+    *derived* profile contents (stock + firmware + rotation), so two epochs
+    whose firmware histories converge on identical profiles share one
+    study; the stored :class:`EpochSummary` is stripped of its labels
+    (home, epoch, transition flag, firmware history), which are reattached
+    from the spec on every hit.
+    """
     schedule = get_fault(spec.fault_name) if spec.fault_name != "none" else None
+    config, profiles = resolve_home_inputs(
+        spec.config_name, spec.device_names, profiles=epoch_profiles(spec), fidelity=spec.fidelity
+    )
+    fingerprint = study_fingerprint(
+        sim_seed=spec.sim_seed,
+        config=config,
+        profiles=profiles,
+        checkins=spec.checkins,
+        fault_schedule=schedule,
+        extra=("exposure", spec.exposure),
+    )
+
+    def compute() -> EpochSummary:
+        summary = _simulate_epoch(spec, config, profiles, schedule)
+        return dataclasses.replace(
+            summary, home_id=-1, epoch=-1, transitioned=False, firmware=()
+        )
+
+    summary = cached_artifact(fingerprint, "lifecycle-epoch", 1, compute)
+    return dataclasses.replace(
+        summary,
+        home_id=spec.home_id,
+        epoch=spec.epoch,
+        transitioned=spec.transitioned,
+        firmware=spec.firmware,
+    )
+
+
+def _simulate_epoch(spec: EpochSpec, config, profiles, schedule) -> EpochSummary:
+    """The uncached body: one epoch study plus its optional WAN scan."""
     study = run_home_study(
         spec.sim_seed,
         config,
@@ -112,7 +150,6 @@ def run_home_epoch(spec: EpochSpec) -> EpochSummary:
         checkins=spec.checkins,
         fault_schedule=schedule,
         profiles=profiles,
-        fidelity=getattr(spec, "fidelity", "packet"),
     )
     result = study.experiment(config.name)
 

@@ -12,9 +12,11 @@ report renders from it, are identical at any ``--jobs``.
 from __future__ import annotations
 
 import functools
+import operator
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.cache import CacheSettings
 from repro.fleet.aggregate import QuantileSketch
 from repro.fleet.runner import FleetResult, ProgressFn, run_fleet
 from repro.fleet.shard import DEFAULT_CHECKPOINT_EVERY, Fold, ShardProgressFn, run_sharded
@@ -30,9 +32,18 @@ def run_lifecycle_fleet(
     jobs: int = 1,
     timeout: Optional[float] = None,
     progress: Optional[ProgressFn] = None,
+    cache: Optional[CacheSettings] = None,
 ) -> FleetResult:
     """Run every (home, epoch) cell; results ordered by ``sort_key``."""
-    return run_fleet(specs, jobs=jobs, timeout=timeout, progress=progress, worker=run_home_epoch)
+    return run_fleet(
+        specs,
+        jobs=jobs,
+        timeout=timeout,
+        progress=progress,
+        worker=run_home_epoch,
+        cache=cache,
+        group=operator.attrgetter("home_id") if cache is not None else None,
+    )
 
 
 @dataclass(frozen=True)
@@ -399,6 +410,7 @@ def run_lifecycle_stream(
     journal_dir: Optional[str] = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     progress: Optional[ShardProgressFn] = None,
+    cache: Optional[CacheSettings] = None,
 ) -> LifecycleAggregate:
     """Sharded streaming equivalent of plan + run + aggregate.
 
@@ -418,6 +430,7 @@ def run_lifecycle_stream(
         journal_dir=journal_dir,
         journal_token=spec_token("lifecycle", homes, seed, params, timeout),
         checkpoint_every=checkpoint_every,
+        cache=cache,
     )
 
 

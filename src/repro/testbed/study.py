@@ -148,6 +148,29 @@ def profiles_by_name(device_names: Sequence[str]):
     return [by_name[name] for name in device_names]
 
 
+def resolve_home_inputs(
+    config: Union[NetworkConfig, str],
+    device_names: Sequence[str],
+    *,
+    profiles=None,
+    fidelity: Optional[str] = None,
+):
+    """Resolve a home spec's plain values into the simulator's real inputs.
+
+    Returns ``(config, profiles)`` with the fidelity folded into the config
+    and inventory names replaced by concrete profiles. This is the exact
+    closure a home study is a pure function of (plus seed, checkins, and
+    fault schedule), which is why :mod:`repro.cache` fingerprints the
+    return value rather than the spec's spelling of it.
+    """
+    config = resolve_config(config)
+    if fidelity is not None:
+        config = with_fidelity(config, fidelity)
+    if profiles is None:
+        profiles = profiles_by_name(device_names)
+    return config, profiles
+
+
 def run_home_study(
     seed: int,
     config: Union[NetworkConfig, str],
@@ -177,11 +200,9 @@ def run_home_study(
     simulator.pending)``; the timer callbacks touch no device state, so
     enabling progress does not perturb the simulation.
     """
-    config = resolve_config(config)
-    if fidelity is not None:
-        config = with_fidelity(config, fidelity)
-    if profiles is None:
-        profiles = profiles_by_name(device_names)
+    config, profiles = resolve_home_inputs(
+        config, device_names, profiles=profiles, fidelity=fidelity
+    )
     testbed = Testbed(seed=seed, profiles=profiles, include_controls=False)
 
     if fault_schedule is not None:

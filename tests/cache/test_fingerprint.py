@@ -1,0 +1,157 @@
+"""Property tests pinning down fingerprint semantics.
+
+Two properties matter (DESIGN.md §15): **extensional equality** — closures
+that would drive byte-identical simulations hash identically however their
+values were constructed — and **sensitivity** — flipping any semantically
+meaningful input changes the hash. Both are what make cache hits safe:
+a false split only costs time, a false merge would corrupt results.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import canonical, code_epoch, digest, study_fingerprint
+from repro.devices import build_inventory
+from repro.faults.schedule import FaultSchedule, FaultWindow, get_fault
+from repro.stack.config import with_fidelity, with_firewall
+from repro.testbed.study import profiles_by_name, resolve_config
+
+
+def _closure(**overrides):
+    """A small, fully resolved study closure with overridable parts."""
+    parts = {
+        "sim_seed": 7,
+        "config": with_fidelity(with_firewall(resolve_config("dual-stack"), "stateful"), "flow"),
+        "profiles": profiles_by_name(("Behmor Brewer", "Smarter IKettle")),
+        "checkins": 2,
+        "fault_schedule": get_fault("dns-blackout"),
+        "extra": (),
+    }
+    parts.update(overrides)
+    return parts
+
+
+# ------------------------------------------------------ extensional equality
+
+scalars = st.one_of(st.integers(), st.text(max_size=8), st.booleans(), st.none())
+
+
+@given(st.dictionaries(st.text(max_size=6), scalars, max_size=8), st.randoms())
+def test_dict_insertion_order_is_invisible(mapping, rng):
+    shuffled_keys = list(mapping)
+    rng.shuffle(shuffled_keys)
+    shuffled = {key: mapping[key] for key in shuffled_keys}
+    assert canonical(mapping) == canonical(shuffled)
+    assert digest(mapping) == digest(shuffled)
+
+
+@given(st.lists(st.integers(), max_size=10))
+def test_set_construction_order_is_invisible(values):
+    assert canonical(set(values)) == canonical(set(reversed(values)))
+    assert canonical(frozenset(values)) == canonical(set(values))
+
+
+@given(st.lists(scalars, max_size=10))
+def test_sequence_order_is_semantic(values):
+    # Device order shapes MAC assignment, so lists must NOT sort: reversing
+    # a non-palindromic sequence must change the canonical form.
+    assert canonical(list(values)) == canonical(tuple(values))
+    if list(values) != list(reversed(values)):
+        assert canonical(values) != canonical(list(reversed(values)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.randoms())
+def test_fault_window_order_is_invisible(rng):
+    windows = [
+        FaultWindow("dns-outage", 100.0, 200.0),
+        FaultWindow("uplink-down", 250.0, 300.0),
+        FaultWindow("loss", 50.0, 80.0, severity=0.3),
+    ]
+    shuffled = list(windows)
+    rng.shuffle(shuffled)
+    a = FaultSchedule.of("w", windows)
+    b = FaultSchedule.of("w", shuffled)
+    assert digest(a) == digest(b)
+
+
+def test_independently_rebuilt_profiles_hash_identically():
+    base = _closure()
+    rebuilt = _closure(profiles=profiles_by_name(("Behmor Brewer", "Smarter IKettle")))
+    assert study_fingerprint(**base) == study_fingerprint(**rebuilt)
+
+
+def test_inventory_profiles_all_canonicalize():
+    # Every profile in the 93-device inventory must decompose cleanly — a
+    # TypeError here means some field grew a type the fingerprint refuses.
+    for profile in build_inventory():
+        canonical(profile)
+
+
+# ------------------------------------------------------------- sensitivity
+
+
+@pytest.mark.parametrize(
+    "override",
+    [
+        {"sim_seed": 8},
+        {"checkins": 3},
+        {"fault_schedule": None},
+        {"fault_schedule": get_fault("uplink-flap")},
+        {"extra": ("settle", 150.0)},
+        {"config": with_fidelity(with_firewall(resolve_config("dual-stack"), "open"), "flow")},
+        {"config": with_fidelity(with_firewall(resolve_config("dual-stack"), "stateful"), "packet")},
+        {"config": with_fidelity(with_firewall(resolve_config("ipv6-only"), "stateful"), "flow")},
+        {"profiles": profiles_by_name(("Smarter IKettle", "Behmor Brewer"))},  # order is semantic
+        {"profiles": profiles_by_name(("Behmor Brewer",))},
+    ],
+)
+def test_flipping_any_closure_part_changes_the_fingerprint(override):
+    assert study_fingerprint(**_closure()) != study_fingerprint(**_closure(**override))
+
+
+def test_flipping_one_profile_attribute_changes_the_fingerprint():
+    profiles = profiles_by_name(("Behmor Brewer", "Smarter IKettle"))
+    mutated = [dataclasses.replace(profiles[0], gua_addr_count=profiles[0].gua_addr_count + 1), profiles[1]]
+    assert study_fingerprint(**_closure()) != study_fingerprint(**_closure(profiles=mutated))
+
+
+def test_flipping_one_fault_window_changes_the_fingerprint():
+    schedule = get_fault("dns-blackout")
+    window = schedule.windows[0]
+    nudged = FaultSchedule.of(
+        schedule.name,
+        (dataclasses.replace(window, end=window.end + 1.0),) + schedule.windows[1:],
+    )
+    assert study_fingerprint(**_closure()) != study_fingerprint(
+        **_closure(fault_schedule=nudged)
+    )
+
+
+def test_unhashable_objects_are_refused_not_reprd():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError):
+        canonical(Opaque())
+    with pytest.raises(TypeError):
+        digest("study", Opaque())
+
+
+# --------------------------------------------------------------- code epoch
+
+
+def test_code_epoch_is_deterministic():
+    assert code_epoch() == code_epoch()
+    assert len(code_epoch()) == 16
+
+
+def test_code_epoch_tracks_the_cache_generation(monkeypatch):
+    from repro.cache import fingerprint as fp
+
+    before = code_epoch()
+    monkeypatch.setattr(fp, "CACHE_GENERATION", fp.CACHE_GENERATION + 1)
+    assert fp.code_epoch() != before
